@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one table or figure of the paper.  Default scales
+(see ``repro.benchsuite.registry``) are reduced from the paper's problem
+sizes so a full run finishes in minutes; pass ``--paper-size`` to use the
+original Table 1 sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite.registry import benchmark
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+#: Pedantic settings bounding the harness's total runtime.
+ROUNDS = 2
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-size",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's original problem sizes",
+    )
+
+
+@pytest.fixture
+def scale_for(request):
+    use_paper = request.config.getoption("--paper-size")
+
+    def pick(name: str) -> tuple:
+        spec = benchmark(name)
+        return spec.paper_scale if use_paper else spec.default_scale
+
+    return pick
+
+
+@pytest.fixture(autouse=True)
+def _reseed():
+    GLOBAL_RANDOM.seed(0)
+    yield

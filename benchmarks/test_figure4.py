@@ -1,0 +1,93 @@
+"""Figure 4 — performance on the SPARC platform.
+
+One benchmark entry per (program, engine) pair.  Engine runtimes follow
+the paper's methodology: JIT runs start from an empty repository (compile
+time included); speculative runs use a pre-speculated repository; mcc and
+FALCON are batch-compiled ahead of the timed region.  Speedups over the
+interpreter (the figure's bars) are computed by comparing against the
+``test_interpreter_runtime`` numbers of ``test_table1.py``, or directly
+with ``python -m repro.experiments.figure4``.
+"""
+
+import pytest
+
+from repro.baselines.falcon import FalconCompilerEngine
+from repro.baselines.mcc import MccCompilerEngine
+from repro.benchsuite import registry
+from repro.benchsuite.workloads import boxed_workload
+from repro.core.majic import MajicSession
+from repro.core.platformcfg import SPARC
+from repro.experiments.harness import _sources
+from repro.experiments.figure4 import FALCON_OMITTED
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+from conftest import ROUNDS
+
+PLATFORM = SPARC
+
+
+def _bench_jit(benchmark, name, scale, platform=PLATFORM):
+    args = boxed_workload(name, scale)
+
+    def run():
+        # Empty repository per run: the paper's JIT methodology.
+        session = MajicSession(platform=platform, seed=None)
+        for text in _sources(name):
+            session.add_source(text)
+        GLOBAL_RANDOM.seed(0)
+        return session.call_boxed(name, [a.copy() for a in args], nargout=1)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def _bench_spec(benchmark, name, scale, platform=PLATFORM):
+    args = boxed_workload(name, scale)
+    session = MajicSession(platform=platform, seed=None)
+    for text in _sources(name):
+        session.add_source(text)
+    session.speculate_all()   # hidden, ahead-of-time
+
+    def run():
+        GLOBAL_RANDOM.seed(0)
+        return session.call_boxed(name, [a.copy() for a in args], nargout=1)
+
+    run()  # a failed speculation JIT-recompiles here, outside the timing
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def _bench_baseline(benchmark, engine, name, scale):
+    args = boxed_workload(name, scale)
+    for text in _sources(name):
+        engine.add_source(text)
+    GLOBAL_RANDOM.seed(0)
+    engine.execute(name, [a.copy() for a in args], 1)  # batch compile
+
+    def run():
+        GLOBAL_RANDOM.seed(0)
+        return engine.execute(name, [a.copy() for a in args], 1)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_mcc(benchmark, scale_for, name):
+    _bench_baseline(benchmark, MccCompilerEngine(), name, scale_for(name))
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in registry.benchmark_names() if n not in FALCON_OMITTED],
+)
+def test_falcon(benchmark, scale_for, name):
+    engine = FalconCompilerEngine(native_opt_level=PLATFORM.native_opt_level)
+    _bench_baseline(benchmark, engine, name, scale_for(name))
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_jit(benchmark, scale_for, name):
+    _bench_jit(benchmark, name, scale_for(name))
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_spec(benchmark, scale_for, name):
+    _bench_spec(benchmark, name, scale_for(name))

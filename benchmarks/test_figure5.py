@@ -1,0 +1,37 @@
+"""Figure 5 — performance on the MIPS platform.
+
+Same bars as Figure 4 under the MIPS configuration (strong native backend,
+incomplete JIT); ``adapt`` is excluded as in the paper.
+"""
+
+import pytest
+
+from repro.baselines.falcon import FalconCompilerEngine
+from repro.benchsuite import registry
+from repro.core.platformcfg import MIPS
+from repro.experiments.figure4 import FALCON_OMITTED
+
+import test_figure4 as f4
+
+NAMES = [
+    n for n in registry.benchmark_names()
+    if n not in MIPS.excluded_benchmarks
+]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_jit_mips(benchmark, scale_for, name):
+    f4._bench_jit(benchmark, name, scale_for(name), platform=MIPS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_spec_mips(benchmark, scale_for, name):
+    f4._bench_spec(benchmark, name, scale_for(name), platform=MIPS)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in NAMES if n not in FALCON_OMITTED]
+)
+def test_falcon_mips(benchmark, scale_for, name):
+    engine = FalconCompilerEngine(native_opt_level=MIPS.native_opt_level)
+    f4._bench_baseline(benchmark, engine, name, scale_for(name))

@@ -1,0 +1,31 @@
+"""Figure 6 — composition of JIT execution time.
+
+Measures each benchmark in JIT mode from an empty repository and attaches
+the disambiguation / type-inference / codegen / execution split to the
+benchmark's ``extra_info`` (the paper's stacked bars).
+"""
+
+import pytest
+
+from repro.benchsuite import registry
+from repro.core.platformcfg import SPARC
+from repro.experiments.harness import run_benchmark
+
+from conftest import ROUNDS
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_jit_breakdown(benchmark, scale_for, name):
+    holder = {}
+
+    def run():
+        result = run_benchmark(
+            name, "jit", platform=SPARC, scale=scale_for(name), repeats=1
+        )
+        holder["result"] = result
+        return result
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    breakdown = holder["result"].breakdown
+    for key, value in breakdown.fractions().items():
+        benchmark.extra_info[f"fraction_{key}"] = round(value, 4)

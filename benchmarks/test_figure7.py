@@ -1,0 +1,44 @@
+"""Figure 7 — disabling individual JIT optimizations.
+
+For each benchmark and each ablation (no ranges / no min. shapes /
+no regalloc), measures steady-state JIT execution (compile excluded via a
+warm repository).  Performance relative to the fully optimized JIT is what
+the paper plots; compute it by comparing the ablated entries against the
+``full`` entries, or directly with ``python -m repro.experiments.figure7``.
+"""
+
+import pytest
+
+from repro.benchsuite import registry
+from repro.benchsuite.workloads import boxed_workload
+from repro.core.majic import MajicSession
+from repro.core.platformcfg import AblationFlags, SPARC
+from repro.experiments.harness import _sources
+from repro.experiments.figure7 import ABLATIONS
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+from conftest import ROUNDS
+
+CONFIGS = {"full": AblationFlags(), **ABLATIONS}
+
+
+def _bench_warm_jit(benchmark, name, scale, flags):
+    args = boxed_workload(name, scale)
+    session = MajicSession(platform=SPARC, ablation=flags, seed=None)
+    for text in _sources(name):
+        session.add_source(text)
+    GLOBAL_RANDOM.seed(0)
+    session.call_boxed(name, [a.copy() for a in args], nargout=1)  # warm
+
+    def run():
+        GLOBAL_RANDOM.seed(0)
+        return session.call_boxed(name, [a.copy() for a in args], nargout=1)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["ablation"] = flags.label
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_ablated_jit(benchmark, scale_for, name, config):
+    _bench_warm_jit(benchmark, name, scale_for(name), CONFIGS[config])

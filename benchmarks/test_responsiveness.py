@@ -1,0 +1,64 @@
+"""Responsiveness: compile-time benchmarks (the paper's other axis).
+
+The paper's thesis is the *mix*: the JIT compiles in "a fraction of a
+second" while the speculative/native pipeline "can take several seconds"
+but runs ahead of time.  These benchmarks measure both compilers' latency
+per benchmark, plus the repository's dispatch overhead on a hot call.
+"""
+
+import pytest
+
+from repro.benchsuite import registry
+from repro.benchsuite.workloads import boxed_workload
+from repro.codegen.jitgen import JitCompiler
+from repro.codegen.srcgen import SourceCompiler
+from repro.experiments.harness import _sources
+from repro.frontend.parser import parse
+from repro.inference.speculation import Speculator
+from repro.interp.frontend import Invocation
+from repro.repository.repo import CodeRepository
+from repro.typesys.signature import signature_of_values
+
+from conftest import ROUNDS
+
+NAMES = registry.benchmark_names()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_jit_compile_latency(benchmark, scale_for, name):
+    """Parse-to-executable latency of the JIT pipeline."""
+    fn = parse(registry.source_of(name)).primary
+    args = boxed_workload(name, scale_for(name))
+    signature = signature_of_values(args)
+
+    def compile_once():
+        return JitCompiler().compile(fn, signature)
+
+    benchmark.pedantic(compile_once, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["dirich", "qmr", "orbrk"])
+def test_speculative_compile_latency(benchmark, scale_for, name):
+    """Speculation + optimizing codegen: the slow, hidden pipeline."""
+    fn = parse(registry.source_of(name)).primary
+
+    def compile_once():
+        result = Speculator().speculate(fn)
+        return SourceCompiler().compile(
+            fn, result.signature, annotations=result.annotations
+        )
+
+    benchmark.pedantic(compile_once, rounds=3, iterations=1)
+
+
+def test_repository_hot_dispatch(benchmark):
+    """Per-call overhead of the locator fast path (recursion pays this)."""
+    repo = CodeRepository()
+    repo.add_source("function y = inc(x)\ny = x + 1;\n")
+    call = Invocation(name="inc", args=boxed_workload("fibonacci", (5,)), nargout=1)
+    repo.execute(call)  # compile
+
+    def dispatch():
+        return repo.execute(call)
+
+    benchmark.pedantic(dispatch, rounds=5, iterations=200)

@@ -1,0 +1,41 @@
+"""Table 1 — benchmark inventory: interpreted runtimes (the t_i column).
+
+Regenerates the paper's reference column: the runtime of each benchmark
+under the stock interpreter.  ``extra_info`` carries the paper's reported
+runtime for side-by-side comparison.
+"""
+
+import pytest
+
+from repro.benchsuite import registry
+from repro.benchsuite.workloads import boxed_workload
+from repro.experiments.harness import _sources
+from repro.frontend.parser import parse
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+from conftest import ROUNDS
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_interpreter_runtime(benchmark, scale_for, name):
+    info = registry.benchmark(name)
+    table = {}
+    for text in _sources(name):
+        for fn in parse(text).functions:
+            table[fn.name] = fn
+    interp = Interpreter(function_lookup=table.get)
+    args = boxed_workload(name, scale_for(name))
+
+    def run():
+        GLOBAL_RANDOM.seed(0)
+        return interp.call_function(
+            table[name], [a.copy() for a in args], 1
+        )
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["paper_runtime_s"] = info.paper_runtime_s
+    benchmark.extra_info["paper_problem_size"] = info.paper_problem_size
+    benchmark.extra_info["paper_lines"] = info.paper_lines
+    benchmark.extra_info["our_lines"] = registry.actual_lines(name)
+    benchmark.extra_info["our_scale"] = str(scale_for(name))

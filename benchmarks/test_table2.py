@@ -1,0 +1,41 @@
+"""Table 2 — JIT vs. speculative type inference.
+
+The same (optimizing) code generator fed by speculative annotations vs.
+invocation-derived (JIT) annotations, compile time excluded.
+"""
+
+import pytest
+
+from repro.benchsuite import registry
+from repro.benchsuite.workloads import boxed_workload
+from repro.experiments.harness import _sources
+from repro.experiments.table2 import AnnotationEngine
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+from conftest import ROUNDS
+
+
+def _bench_annotations(benchmark, name, scale, use_speculation):
+    engine = AnnotationEngine(use_speculation=use_speculation)
+    for text in _sources(name):
+        engine.add_source(text)
+    args = boxed_workload(name, scale)
+    GLOBAL_RANDOM.seed(0)
+    engine.execute(name, [a.copy() for a in args], 1)  # compile, untimed
+
+    def run():
+        GLOBAL_RANDOM.seed(0)
+        return engine.execute(name, [a.copy() for a in args], 1)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["runtime_recompile"] = bool(engine.spec_misses)
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_jit_annotations(benchmark, scale_for, name):
+    _bench_annotations(benchmark, name, scale_for(name), use_speculation=False)
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_speculative_annotations(benchmark, scale_for, name):
+    _bench_annotations(benchmark, name, scale_for(name), use_speculation=True)

@@ -1,0 +1,35 @@
+"""Generate every table/figure at default scales; incremental JSON saves."""
+import json, time
+from repro.experiments import table1, figure4, figure5, figure6, figure7, table2
+
+out = {}
+def save():
+    with open("experiment_results.json", "w") as fh:
+        json.dump(out, fh, indent=1)
+
+t0 = time.time()
+print("table1...", flush=True)
+out["table1"] = table1.render(table1.generate(repeats=2)); save()
+print("figure4...", flush=True)
+f4 = figure4.generate(repeats=2)
+out["figure4"] = figure4.render(f4)
+out["figure4_data"] = {k: {e: round(v, 2) for e, v in r.items()} for k, r in f4.items()}; save()
+print("figure5...", flush=True)
+f5 = figure5.generate(repeats=2)
+out["figure5"] = figure5.render(f5)
+out["figure5_data"] = {k: {e: round(v, 2) for e, v in r.items()} for k, r in f5.items()}; save()
+print("figure6...", flush=True)
+out["figure6"] = figure6.render(figure6.generate(repeats=2)); save()
+print("figure7...", flush=True)
+f7 = figure7.generate(repeats=2)
+out["figure7"] = figure7.render(f7)
+out["figure7_data"] = {k: {a: round(v, 3) for a, v in r.items()} for k, r in f7.items()}; save()
+print("table2...", flush=True)
+t2 = table2.generate(repeats=2)
+out["table2"] = table2.render(t2)
+out["table2_data"] = [
+    dict(benchmark=r.benchmark, spec=round(r.spec_speedup, 2),
+         jit=round(r.jit_speedup, 2), missed=r.spec_missed)
+    for r in t2
+]; save()
+print(f"done in {time.time()-t0:.0f}s", flush=True)

@@ -1,0 +1,11 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.benchsuite": ["programs/*.m"]},
+    install_requires=["numpy"],
+    python_requires=">=3.10",
+)

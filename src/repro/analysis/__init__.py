@@ -1,0 +1,27 @@
+"""Static analyses: CFG construction, dataflow, disambiguation (§2.1).
+
+The disambiguator is "the first pass of the MaJIC compiler": it resolves
+every symbol occurrence to variable / builtin / user function, or defers it
+to runtime when the occurrence is genuinely ambiguous (paper Figure 2).
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import DataflowProblem, solve_forward
+from repro.analysis.disambiguate import Disambiguator, disambiguate_function
+from repro.analysis.symtab import SymbolInfo, SymbolKind, SymbolTable
+from repro.analysis.usedef import UseDefChains, build_use_def
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "DataflowProblem",
+    "solve_forward",
+    "Disambiguator",
+    "disambiguate_function",
+    "SymbolInfo",
+    "SymbolKind",
+    "SymbolTable",
+    "UseDefChains",
+    "build_use_def",
+]

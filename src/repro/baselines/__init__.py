@@ -1,0 +1,11 @@
+"""Comparator systems: mcc and FALCON (Section 3.2).
+
+Both are batch compilers; the harness measures their generated code with
+compilation excluded, matching the paper's methodology.
+"""
+
+from repro.baselines.engine import BaselineEngine
+from repro.baselines.mcc import MccCompilerEngine
+from repro.baselines.falcon import FalconCompilerEngine
+
+__all__ = ["BaselineEngine", "MccCompilerEngine", "FalconCompilerEngine"]

@@ -1,0 +1,42 @@
+function Q = adapt(nlevels, tol)
+% ADAPT  Adaptive Simpson quadrature of humps-like f on [0, 1]
+% (Mathews ch. 7).  Keeps an explicit interval worklist in a dynamically
+% growing array (the paper: "a large (and dynamically growing) array as
+% well as small vectors").
+stack = zeros(1, 3);
+stack(1, 1) = 0;
+stack(1, 2) = 1;
+stack(1, 3) = 0;
+nstack = 1;
+Q = 0;
+work = 0;
+while nstack > 0,
+  a = stack(nstack, 1);
+  b = stack(nstack, 2);
+  level = stack(nstack, 3);
+  nstack = nstack - 1;
+  h = b - a;
+  c = (a + b) / 2;
+  fa = 1 / ((a - 0.3)^2 + 0.01) + 1 / ((a - 0.9)^2 + 0.04) - 6;
+  fb = 1 / ((b - 0.3)^2 + 0.01) + 1 / ((b - 0.9)^2 + 0.04) - 6;
+  fc = 1 / ((c - 0.3)^2 + 0.01) + 1 / ((c - 0.9)^2 + 0.04) - 6;
+  s1 = h / 6 * (fa + 4 * fc + fb);
+  d = (a + c) / 2;
+  e = (c + b) / 2;
+  fd = 1 / ((d - 0.3)^2 + 0.01) + 1 / ((d - 0.9)^2 + 0.04) - 6;
+  fe = 1 / ((e - 0.3)^2 + 0.01) + 1 / ((e - 0.9)^2 + 0.04) - 6;
+  s2 = h / 12 * (fa + 4 * fd + 2 * fc + 4 * fe + fb);
+  work = work + 1;
+  if (abs(s2 - s1) < 15 * tol * h) | (level >= nlevels),
+    Q = Q + s2 + (s2 - s1) / 15;
+  else
+    stack(nstack + 1, 1) = a;
+    stack(nstack + 1, 2) = c;
+    stack(nstack + 1, 3) = level + 1;
+    nstack = nstack + 1;
+    stack(nstack + 1, 1) = c;
+    stack(nstack + 1, 2) = b;
+    stack(nstack + 1, 3) = level + 1;
+    nstack = nstack + 1;
+  end
+end

@@ -1,0 +1,25 @@
+function x = cgopt(A, b, tol, maxit)
+% CGOPT  Conjugate gradient with diagonal (Jacobi) preconditioner
+% (Barrett et al., "Templates", ch. 2).  Built-in-function heavy: the
+% runtime lives in matrix-vector products and norms.
+n = size(b, 1);
+x = zeros(n, 1);
+r = b - A * x;
+d = diag(A);
+z = r ./ d;
+p = z;
+rho = r' * z;
+normb = norm(b);
+it = 0;
+while (norm(r) / normb > tol) & (it < maxit),
+  q = A * p;
+  alpha = rho / (p' * q);
+  x = x + alpha * p;
+  r = r - alpha * q;
+  z = r ./ d;
+  rho1 = rho;
+  rho = r' * z;
+  beta = rho / rho1;
+  p = z + beta * p;
+  it = it + 1;
+end

@@ -1,0 +1,48 @@
+function U = crnich(n, m, c)
+% CRNICH  Crank-Nicholson solver for the heat equation (Mathews ch. 10).
+% Tridiagonal system set up and solved with scalar loops each time step.
+h = 1 / (n - 1);
+k = 1 / (m - 1);
+r = c * c * k / (h * h);
+s1 = 2 + 2 / r;
+s2 = 2 / r - 2;
+U = zeros(n, m);
+for i = 2:n-1,
+  U(i, 1) = sin(pi * h * (i - 1)) + sin(3 * pi * h * (i - 1));
+end
+Vd = zeros(1, n);
+Va = zeros(1, n - 1);
+Vb = zeros(1, n);
+Vc = zeros(1, n - 1);
+Vd(1) = 1;
+Vd(n) = 1;
+for i = 2:n-1,
+  Vd(i) = s1;
+end
+for i = 1:n-1,
+  Va(i) = -1;
+  Vc(i) = -1;
+end
+Va(n - 1) = 0;
+Vc(1) = 0;
+for j = 2:m,
+  Vb(1) = 0;
+  Vb(n) = 0;
+  for i = 2:n-1,
+    Vb(i) = U(i-1, j-1) + U(i+1, j-1) + s2 * U(i, j-1);
+  end
+  % Thomas algorithm (tridiagonal solve) with scalar loops.
+  Alpha = zeros(1, n);
+  Beta = zeros(1, n);
+  Alpha(1) = Vd(1);
+  Beta(1) = Vb(1);
+  for i = 2:n,
+    mult = Va(i-1) / Alpha(i-1);
+    Alpha(i) = Vd(i) - mult * Vc(i-1);
+    Beta(i) = Vb(i) - mult * Beta(i-1);
+  end
+  U(n, j) = Beta(n) / Alpha(n);
+  for i = n-1:-1:1,
+    U(i, j) = (Beta(i) - Vc(i) * U(i+1, j)) / Alpha(i);
+  end
+end

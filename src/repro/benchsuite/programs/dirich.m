@@ -1,0 +1,28 @@
+function U = dirich(n, tol, maxit)
+% DIRICH  Dirichlet solution to Laplace's equation on the unit square
+% (Mathews, "Numerical Methods", ch. 10).  Jacobi-style relaxation with
+% pure scalar indexing -- the Fortran-77-like benchmark family.
+U = zeros(n, n);
+for i = 1:n,
+  U(i, 1) = 100;
+  U(i, n) = 100;
+end
+for j = 1:n,
+  U(1, j) = 0;
+  U(n, j) = 100;
+end
+err = tol + 1;
+it = 0;
+while (err > tol) & (it < maxit),
+  err = 0;
+  for i = 2:n-1,
+    for j = 2:n-1,
+      relax = (U(i, j+1) + U(i, j-1) + U(i+1, j) + U(i-1, j)) / 4 - U(i, j);
+      U(i, j) = U(i, j) + relax;
+      if abs(relax) > err,
+        err = abs(relax);
+      end
+    end
+  end
+  it = it + 1;
+end

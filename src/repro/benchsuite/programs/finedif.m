@@ -1,0 +1,21 @@
+function U = finedif(n, m, c)
+% FINEDIF  Finite-difference solution to the wave equation
+% (Mathews ch. 10).  Three-level explicit scheme, scalar indexing.
+h = 1 / (n - 1);
+k = 1 / (m - 1);
+r = c * k / h;
+r2 = r * r;
+r22 = r * r / 2;
+s1 = 1 - r * r;
+s2 = 2 - 2 * r * r;
+U = zeros(n, m);
+for i = 2:n-1,
+  x = h * (i - 1);
+  U(i, 1) = sin(pi * x);
+  U(i, 2) = s1 * sin(pi * x) + r22 * (sin(pi * (x + h)) + sin(pi * (x - h)));
+end
+for j = 3:m,
+  for i = 2:n-1,
+    U(i, j) = s2 * U(i, j-1) + r2 * (U(i-1, j-1) + U(i+1, j-1)) - U(i, j-2);
+  end
+end

@@ -1,0 +1,24 @@
+function P = fractal(npoints)
+% FRACTAL  Barnsley fern generator (authors' benchmark).
+% Small fixed-size vector/matrix operations dominate (2x2 times 2x1).
+P = zeros(npoints, 2);
+v = [0; 0];
+for k = 1:npoints,
+  r = rand(1, 1);
+  if r < 0.01,
+    A = [0, 0; 0, 0.16];
+    t = [0; 0];
+  elseif r < 0.86,
+    A = [0.85, 0.04; -0.04, 0.85];
+    t = [0; 1.6];
+  elseif r < 0.93,
+    A = [0.2, -0.26; 0.23, 0.22];
+    t = [0; 1.6];
+  else
+    A = [-0.15, 0.28; 0.26, 0.24];
+    t = [0; 0.44];
+  end
+  v = A * v + t;
+  P(k, 1) = v(1);
+  P(k, 2) = v(2);
+end

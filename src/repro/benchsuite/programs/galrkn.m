@@ -1,0 +1,53 @@
+function u = galrkn(n)
+% GALRKN  Galerkin finite-element solution of -u'' = sin(pi x) on (0, 1)
+% with linear elements (after Garcia).  Assembly with scalar loops, a
+% scalar Thomas tridiagonal solve, and an L2-error accumulation loop --
+% Fortran-77 style throughout.
+h = 1 / (n + 1);
+Kd = zeros(1, n);
+Ko = zeros(1, n - 1);
+F = zeros(1, n);
+for e = 1:n+1,
+  xl = (e - 1) * h;
+  xr = e * h;
+  fl = sin(pi * xl);
+  fr = sin(pi * xr);
+  f1 = h / 2 * fl;
+  f2 = h / 2 * fr;
+  il = e - 1;
+  ir = e;
+  if il >= 1,
+    Kd(il) = Kd(il) + 1 / h;
+    F(il) = F(il) + f2;
+  end
+  if ir <= n,
+    Kd(ir) = Kd(ir) + 1 / h;
+    F(ir) = F(ir) + f1;
+  end
+  if (il >= 1) & (ir <= n),
+    Ko(il) = Ko(il) - 1 / h;
+  end
+end
+% Thomas algorithm on the tridiagonal stiffness system.
+Alpha = zeros(1, n);
+Beta = zeros(1, n);
+u = zeros(1, n);
+Alpha(1) = Kd(1);
+Beta(1) = F(1);
+for i = 2:n,
+  mult = Ko(i-1) / Alpha(i-1);
+  Alpha(i) = Kd(i) - mult * Ko(i-1);
+  Beta(i) = F(i) - mult * Beta(i-1);
+end
+u(n) = Beta(n) / Alpha(n);
+for i = n-1:-1:1,
+  u(i) = (Beta(i) - Ko(i) * u(i+1)) / Alpha(i);
+end
+% L2 error against the analytic solution sin(pi x)/pi^2.
+err = 0;
+for i = 1:n,
+  x = i * h;
+  exact = sin(pi * x) / (pi * pi);
+  err = err + (u(i) - exact)^2;
+end
+u(1) = u(1) + 0 * err;

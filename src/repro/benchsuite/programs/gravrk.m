@@ -1,0 +1,7 @@
+function deriv = gravrk(s)
+% GRAVRK  Derivative vector for the Kepler problem (used by orbrk).
+% State s = [x, y, vx, vy]; returns [vx, vy, ax, ay].
+GM = 4 * pi * pi;
+normr = sqrt(s(1) * s(1) + s(2) * s(2));
+accel = -GM / (normr * normr * normr);
+deriv = [s(3), s(4), accel * s(1), accel * s(2)];

@@ -1,0 +1,24 @@
+function R = icn(A, n)
+% ICN  Incomplete Cholesky factorization (R. Bramley's benchmark).
+% Classic jik triple loop with scalar subscripts only.
+R = zeros(n, n);
+for i = 1:n,
+  for j = 1:i,
+    R(i, j) = A(i, j);
+  end
+end
+for k = 1:n,
+  R(k, k) = sqrt(R(k, k));
+  for i = k+1:n,
+    if R(i, k) ~= 0,
+      R(i, k) = R(i, k) / R(k, k);
+    end
+  end
+  for j = k+1:n,
+    for i = j:n,
+      if R(i, j) ~= 0,
+        R(i, j) = R(i, j) - R(i, k) * R(j, k);
+      end
+    end
+  end
+end

@@ -1,0 +1,19 @@
+function M = mandel(n, maxiter)
+% MANDEL  Mandelbrot set membership counts on an n x n grid.
+% Scalar complex arithmetic; uses the builtin i (the speculator's
+% documented misprediction in Section 3.6).
+M = zeros(n, n);
+for a = 1:n,
+  for b = 1:n,
+    x = -2 + 3 * (a - 1) / (n - 1);
+    y = -1.5 + 3 * (b - 1) / (n - 1);
+    c = x + y * i;
+    z = 0 * i;
+    count = 0;
+    while (count < maxiter) & (abs(z) <= 2),
+      z = z * z + c;
+      count = count + 1;
+    end
+    M(a, b) = count;
+  end
+end

@@ -1,0 +1,25 @@
+function G = mei(C0, H0)
+% MEI  Fractal landscape generator (origin unknown, per Table 1).
+% Smooths a random height field through the dominant eigenspace of a
+% correlation matrix.  The eig call receives a parameter directly -- the
+% call whose argument types the speculator cannot predict ("instead it
+% considers them complex values which leads to performance loss",
+% Section 3.6).
+[V, D] = eig(C0);
+n = size(C0, 1);
+m = size(H0, 2);
+W = zeros(n, n);
+for k = n-round(n/2):n,
+  lambda = D(k, k);
+  for a = 1:n,
+    for b = 1:n,
+      W(a, b) = W(a, b) + lambda * V(a, k) * V(b, k);
+    end
+  end
+end
+G = W * H0;
+for a = 1:n,
+  for b = 1:m,
+    G(a, b) = abs(G(a, b));
+  end
+end

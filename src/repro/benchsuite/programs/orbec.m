@@ -1,0 +1,17 @@
+function R = orbec(nstep, tau)
+% ORBEC  Euler-Cromer method for the one-body Kepler problem
+% (Garcia, "Numerical Methods for Physics", ch. 3).
+% Small 1x2 vectors updated every step.
+r = [1, 0];
+v = [0, 2 * pi];
+GM = 4 * pi * pi;
+R = zeros(nstep, 2);
+for istep = 1:nstep,
+  normr = sqrt(r(1) * r(1) + r(2) * r(2));
+  accel = -GM / (normr * normr * normr);
+  a = [accel * r(1), accel * r(2)];
+  v = v + tau * a;
+  r = r + tau * v;
+  R(istep, 1) = r(1);
+  R(istep, 2) = r(2);
+end

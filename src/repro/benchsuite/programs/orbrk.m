@@ -1,0 +1,20 @@
+function R = orbrk(nstep, tau)
+% ORBRK  Fourth-order Runge-Kutta for the one-body Kepler problem
+% (Garcia ch. 3).  Calls the small helper gravrk, which MaJIC inlines --
+% "the orbrk benchmark demonstrates that inlining at compile time is
+% beneficial" (Section 3.4).
+s = [1, 0, 0, 2 * pi];
+R = zeros(nstep, 2);
+for istep = 1:nstep,
+  f1 = gravrk(s);
+  half = 0.5 * tau;
+  s1 = s + half * f1;
+  f2 = gravrk(s1);
+  s2 = s + half * f2;
+  f3 = gravrk(s2);
+  s3 = s + tau * f3;
+  f4 = gravrk(s3);
+  s = s + tau / 6 * (f1 + f4 + 2 * (f2 + f3));
+  R(istep, 1) = s(1);
+  R(istep, 2) = s(2);
+end

@@ -1,0 +1,3 @@
+function p = poly(x)
+% POLY  The paper's running example (Figure 3).
+p = x.^5 + 3*x + 2;

@@ -1,0 +1,83 @@
+function x = qmr(A, b, tol, maxit)
+% QMR  Quasi-minimal residual linear solver without look-ahead
+% (Barrett et al., "Templates", ch. 2.  Simplified: no preconditioner).
+n = size(b, 1);
+x = zeros(n, 1);
+r = b - A * x;
+normb = norm(b);
+if normb == 0,
+  normb = 1;
+end
+vt = r;
+y = vt;
+rho = norm(y);
+wt = r;
+z = wt;
+xi = norm(z);
+gamma = 1;
+eta = -1;
+theta = 0;
+epsq = 1;
+deltaq = 0;
+p = zeros(n, 1);
+q = zeros(n, 1);
+d = zeros(n, 1);
+s = zeros(n, 1);
+it = 0;
+err = norm(r) / normb;
+while (err > tol) & (it < maxit),
+  it = it + 1;
+  if (rho == 0) | (xi == 0),
+    break
+  end
+  v = vt / rho;
+  y = y / rho;
+  w = wt / xi;
+  z = z / xi;
+  deltaq = z' * y;
+  if deltaq == 0,
+    break
+  end
+  if it == 1,
+    p = y;
+    q = z;
+  else
+    p = y - (xi * deltaq / epsq) * p;
+    q = z - (rho * deltaq / epsq) * q;
+  end
+  pt = A * p;
+  epsq = q' * pt;
+  if epsq == 0,
+    break
+  end
+  beta = epsq / deltaq;
+  if beta == 0,
+    break
+  end
+  vt = pt - beta * v;
+  y = vt;
+  rho1 = rho;
+  rho = norm(y);
+  wt = A' * q - beta * w;
+  z = wt;
+  xi = norm(z);
+  thetaold = theta;
+  gammaold = gamma;
+  theta = rho / (gammaold * abs(beta));
+  gamma = 1 / sqrt(1 + theta * theta);
+  if gamma == 0,
+    break
+  end
+  eta = -eta * rho1 * gamma * gamma / (beta * gammaold * gammaold);
+  if it == 1,
+    d = eta * p;
+    s = eta * pt;
+  else
+    tscale = thetaold * thetaold * gamma * gamma;
+    d = eta * p + tscale * d;
+    s = eta * pt + tscale * s;
+  end
+  x = x + d;
+  r = r - s;
+  err = norm(r) / normb;
+end

@@ -1,0 +1,18 @@
+function x = sor(A, b, w, tol, maxit)
+% SOR  Successive overrelaxation (Barrett et al., "Templates").
+% Matrix-split form: library operations dominate.
+n = size(b, 1);
+x = zeros(n, 1);
+d = diag(A);
+L = tril(A, -1);
+U = triu(A, 1);
+M = diag(d) / w + L;
+N = (1 / w - 1) * diag(d) - U;
+normb = norm(b);
+r = b - A * x;
+it = 0;
+while (norm(r) / normb > tol) & (it < maxit),
+  x = M \ (N * x + b);
+  r = b - A * x;
+  it = it + 1;
+end

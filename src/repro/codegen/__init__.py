@@ -1,0 +1,24 @@
+"""Code generation (Section 2.6).
+
+Two code generators share one set of code-selection rules
+(:mod:`~repro.codegen.select`) but build radically different code:
+
+* :mod:`~repro.codegen.jitgen` — the JIT pipeline: a single code-selection
+  pass lowering the typed AST to ICODE, linear-scan register allocation,
+  and in-memory emission.  No loop optimizations, no instruction
+  scheduling — fast compilation, reasonable code;
+* :mod:`~repro.codegen.srcgen` — the speculative/native pipeline: the same
+  selection rules plus the expensive optimizations (function inlining,
+  common-subexpression elimination, loop-invariant hoisting, loop
+  versioning for subscript checks), emitting a source module compiled by
+  the host toolchain.  Slow compilation, best code.
+
+:mod:`~repro.codegen.runtime_support` is the library generated code links
+against.
+"""
+
+from repro.codegen.jitgen import JitCompiler, CompiledObject
+from repro.codegen.srcgen import SourceCompiler
+from repro.codegen.runtime_support import RuntimeSupport
+
+__all__ = ["JitCompiler", "SourceCompiler", "CompiledObject", "RuntimeSupport"]

@@ -1,0 +1,393 @@
+"""Function inlining (Figure 1 pass 2, Section 2.6.1).
+
+MaJIC inlines calls to small (< 200 lines) user functions, preserving
+call-by-value semantics by copying actual parameters — except read-only
+formals, which are bound directly ("this can result in huge performance
+gain when large matrices are passed as read-only arguments").  Recursive
+calls are inlined at most :data:`MAX_RECURSION_DEPTH` levels to avoid code
+explosion (Section 3.4).
+
+The inliner is a source-level AST→AST transform that runs before
+disambiguation (which is re-run afterwards, as Figure 1 notes the symbol
+table must be rebuilt).  Calls nested inside expressions are first hoisted
+into temporary assignments so that only statement-level calls need body
+substitution.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.frontend import ast_nodes as ast
+
+MAX_INLINE_LINES = 200
+MAX_RECURSION_DEPTH = 3
+
+
+@dataclass
+class InlineResult:
+    body: list[ast.Stmt]
+    inlined_calls: int = 0
+
+
+class Inliner:
+    """Inlines user-function calls into one function body."""
+
+    def __init__(
+        self,
+        lookup: Callable[[str], ast.FunctionDef | None],
+        max_lines: int = MAX_INLINE_LINES,
+        max_depth: int = MAX_RECURSION_DEPTH,
+    ):
+        self.lookup = lookup
+        self.max_lines = max_lines
+        self.max_depth = max_depth
+        self._counter = 0
+        self.inlined_calls = 0
+        # Names of every function whose body was embedded (dependency
+        # tracking: the caller must be recompiled when these change).
+        self.inlined_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def run(self, fn: ast.FunctionDef) -> ast.FunctionDef:
+        """Return a copy of ``fn`` with eligible calls inlined."""
+        clone = copy.deepcopy(fn)
+        # Names assigned in the caller may shadow function names at
+        # runtime; the inliner runs before disambiguation, so it must not
+        # inline anything a local assignment could shadow.
+        self._caller_assigned = _assigned_names(fn.body) | set(fn.params)
+        clone.body = self._inline_body(clone.body, {fn.name: 1})
+        return clone
+
+    # ------------------------------------------------------------------
+    def _fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}__il{self._counter}"
+
+    def _eligible(self, name: str, depth_map: dict[str, int]) -> ast.FunctionDef | None:
+        if name in getattr(self, "_caller_assigned", ()):
+            return None
+        callee = self.lookup(name)
+        if callee is None:
+            return None
+        if _function_lines(callee) > self.max_lines:
+            return None
+        if depth_map.get(name, 0) >= self.max_depth:
+            return None
+        if _has_blockers(callee):
+            return None
+        return callee
+
+    # ------------------------------------------------------------------
+    def _inline_body(
+        self, body: list[ast.Stmt], depth_map: dict[str, int]
+    ) -> list[ast.Stmt]:
+        result: list[ast.Stmt] = []
+        for stmt in body:
+            result.extend(self._inline_stmt(stmt, depth_map))
+        return result
+
+    def _inline_stmt(self, stmt: ast.Stmt, depth_map: dict[str, int]) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        if isinstance(stmt, ast.Assign):
+            value, pre = self._hoist_calls(stmt.value, depth_map, top=True)
+            out.extend(pre)
+            indices = stmt.target.indices
+            if indices:
+                new_indices = []
+                for index in indices:
+                    idx, pre2 = self._hoist_calls(index, depth_map)
+                    out.extend(pre2)
+                    new_indices.append(idx)
+                stmt.target.indices = new_indices
+            direct = self._try_direct_inline(stmt, value, depth_map)
+            if direct is not None:
+                out.extend(direct)
+                return out
+            stmt.value = value
+            out.append(stmt)
+            return out
+        if isinstance(stmt, ast.MultiAssign):
+            call = stmt.call
+            if isinstance(call, ast.Apply):
+                callee = self._eligible(call.name, depth_map)
+                if callee is not None and len(stmt.targets) <= len(callee.outputs) \
+                        and all(not t.is_indexed for t in stmt.targets):
+                    args, pre = self._hoist_args(call, depth_map)
+                    out.extend(pre)
+                    out.extend(
+                        self._expand(
+                            callee, args,
+                            [t.name for t in stmt.targets], depth_map,
+                        )
+                    )
+                    return out
+            out.append(stmt)
+            return out
+        if isinstance(stmt, ast.ExprStmt):
+            value, pre = self._hoist_calls(stmt.value, depth_map)
+            out.extend(pre)
+            stmt.value = value
+            out.append(stmt)
+            return out
+        if isinstance(stmt, ast.If):
+            new_branches = []
+            for cond, branch in stmt.branches:
+                cond2, pre = self._hoist_calls(cond, depth_map)
+                out.extend(pre)  # condition hoists execute before the if
+                new_branches.append((cond2, self._inline_body(branch, depth_map)))
+            stmt.branches = new_branches
+            stmt.orelse = self._inline_body(stmt.orelse, depth_map)
+            out.append(stmt)
+            return out
+        if isinstance(stmt, ast.While):
+            # Calls in a while condition cannot be hoisted (they re-run per
+            # trip); leave them dynamic.
+            stmt.body = self._inline_body(stmt.body, depth_map)
+            out.append(stmt)
+            return out
+        if isinstance(stmt, ast.For):
+            iterable, pre = self._hoist_calls(stmt.iterable, depth_map)
+            out.extend(pre)
+            stmt.iterable = iterable
+            stmt.body = self._inline_body(stmt.body, depth_map)
+            out.append(stmt)
+            return out
+        out.append(stmt)
+        return out
+
+    # ------------------------------------------------------------------
+    def _try_direct_inline(
+        self, stmt: ast.Assign, value: ast.Expr, depth_map: dict[str, int]
+    ) -> list[ast.Stmt] | None:
+        """Inline ``x = f(...)`` without a temporary."""
+        if stmt.target.is_indexed or not isinstance(value, ast.Apply):
+            return None
+        if value.kind not in (ast.ApplyKind.USER_FUNCTION, ast.ApplyKind.UNRESOLVED):
+            return None
+        callee = self._eligible(value.name, depth_map)
+        if callee is None or not callee.outputs:
+            return None
+        args, pre = self._hoist_args(value, depth_map)
+        return pre + self._expand(callee, args, [stmt.target.name], depth_map)
+
+    def _hoist_args(self, call: ast.Apply, depth_map):
+        args = []
+        pre: list[ast.Stmt] = []
+        for arg in call.args:
+            arg2, pre2 = self._hoist_calls(arg, depth_map)
+            pre.extend(pre2)
+            args.append(arg2)
+        return args, pre
+
+    def _hoist_calls(
+        self, expr: ast.Expr, depth_map: dict[str, int], top: bool = False
+    ) -> tuple[ast.Expr, list[ast.Stmt]]:
+        """Hoist nested inlinable calls into temp assignments."""
+        pre: list[ast.Stmt] = []
+
+        def rewrite(node: ast.Expr, is_top: bool) -> ast.Expr:
+            if isinstance(node, ast.Apply):
+                node.args = [rewrite(a, False) for a in node.args]
+                if node.kind in (
+                    ast.ApplyKind.USER_FUNCTION,
+                    ast.ApplyKind.UNRESOLVED,
+                ):
+                    callee = self._eligible(node.name, depth_map)
+                    if callee is not None and callee.outputs and not is_top:
+                        temp = self._fresh(f"t_{node.name}")
+                        pre.extend(
+                            self._expand(callee, list(node.args), [temp], depth_map)
+                        )
+                        return ast.Ident(name=temp, location=node.location)
+                return node
+            if isinstance(node, ast.BinaryOp):
+                node.left = rewrite(node.left, False)
+                node.right = rewrite(node.right, False)
+                return node
+            if isinstance(node, ast.UnaryOp):
+                node.operand = rewrite(node.operand, False)
+                return node
+            if isinstance(node, ast.Transpose):
+                node.operand = rewrite(node.operand, False)
+                return node
+            if isinstance(node, ast.Range):
+                node.start = rewrite(node.start, False)
+                if node.step is not None:
+                    node.step = rewrite(node.step, False)
+                node.stop = rewrite(node.stop, False)
+                return node
+            if isinstance(node, ast.MatrixLit):
+                node.rows = [[rewrite(e, False) for e in row] for row in node.rows]
+                return node
+            return node
+
+        return rewrite(expr, top), pre
+
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        callee: ast.FunctionDef,
+        args: list[ast.Expr],
+        targets: list[str],
+        depth_map: dict[str, int],
+    ) -> list[ast.Stmt]:
+        """Substitute one call: bind params, rename locals, copy body."""
+        self.inlined_calls += 1
+        self.inlined_names.add(callee.name)
+        body = copy.deepcopy(callee.body)
+        rename: dict[str, str] = {}
+        mutated = _mutated_names(callee.body)
+
+        out: list[ast.Stmt] = []
+        # Bind parameters.  Call-by-value requires copies of the actuals,
+        # but read-only formals of simple variable arguments are aliased
+        # directly (the paper's copy elision).
+        for param, arg in zip(callee.params, args):
+            local = self._fresh(param)
+            rename[param] = local
+            out.append(
+                ast.Assign(
+                    target=ast.LValue(name=local),
+                    value=arg,
+                    display=False,
+                )
+            )
+        for extra in callee.params[len(args):]:
+            rename[extra] = self._fresh(extra)
+
+        # Rename every other local.
+        locals_ = _assigned_names(callee.body) - set(callee.params)
+        for name in sorted(locals_):
+            rename[name] = self._fresh(name)
+        for output, target in zip(callee.outputs, targets):
+            rename[output] = target
+        for output in callee.outputs[len(targets):]:
+            rename.setdefault(output, self._fresh(output))
+
+        _rename_body(body, rename)
+        inner_depth = dict(depth_map)
+        inner_depth[callee.name] = inner_depth.get(callee.name, 0) + 1
+        body = self._inline_body(body, inner_depth)
+        body = _strip_returns(body)
+        out.extend(body)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _function_lines(fn: ast.FunctionDef) -> int:
+    return sum(1 for _ in ast.walk_stmts(fn.body)) + 1
+
+
+def _has_blockers(fn: ast.FunctionDef) -> bool:
+    """Constructs that prevent inlining (returns inside loops, globals)."""
+    def returns_in(body, in_loop: bool) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Return) and in_loop:
+                return True
+            if isinstance(stmt, ast.Global):
+                return True
+            if isinstance(stmt, ast.Clear) and not stmt.names:
+                return True
+            if isinstance(stmt, ast.If):
+                for _, branch in stmt.branches:
+                    if returns_in(branch, in_loop):
+                        return True
+                if returns_in(stmt.orelse, in_loop):
+                    return True
+            elif isinstance(stmt, (ast.While, ast.For)):
+                if returns_in(stmt.body, True):
+                    return True
+        return False
+
+    # A bare `return` is only safe to strip when it is the final top-level
+    # statement; a return anywhere else changes control flow under
+    # substitution and blocks inlining.
+    tail = fn.body[-1] if fn.body else None
+    for stmt in ast.walk_stmts(fn.body):
+        if isinstance(stmt, ast.Return) and stmt is not tail:
+            return True
+    return returns_in(fn.body, False)
+
+
+def _assigned_names(body: list[ast.Stmt]) -> set[str]:
+    names: set[str] = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Assign):
+            names.add(stmt.target.name)
+        elif isinstance(stmt, ast.MultiAssign):
+            names.update(t.name for t in stmt.targets)
+        elif isinstance(stmt, ast.For):
+            names.add(stmt.var)
+    return names
+
+
+def _mutated_names(body: list[ast.Stmt]) -> set[str]:
+    names: set[str] = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Assign) and stmt.target.is_indexed:
+            names.add(stmt.target.name)
+        elif isinstance(stmt, ast.MultiAssign):
+            names.update(t.name for t in stmt.targets if t.is_indexed)
+    return names
+
+
+def _rename_expr(expr: ast.Expr, rename: dict[str, str]) -> None:
+    for node in ast.walk_expr(expr):
+        if isinstance(node, (ast.Ident, ast.Apply)) and node.name in rename:
+            node.name = rename[node.name]
+
+
+def _rename_body(body: list[ast.Stmt], rename: dict[str, str]) -> None:
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Assign):
+            if stmt.target.name in rename:
+                stmt.target.name = rename[stmt.target.name]
+            if stmt.target.indices:
+                for index in stmt.target.indices:
+                    _rename_expr(index, rename)
+            _rename_expr(stmt.value, rename)
+        elif isinstance(stmt, ast.MultiAssign):
+            for target in stmt.targets:
+                if target.name in rename:
+                    target.name = rename[target.name]
+                if target.indices:
+                    for index in target.indices:
+                        _rename_expr(index, rename)
+            _rename_expr(stmt.call, rename)
+        elif isinstance(stmt, ast.ExprStmt):
+            _rename_expr(stmt.value, rename)
+        elif isinstance(stmt, ast.If):
+            for cond, _ in stmt.branches:
+                _rename_expr(cond, rename)
+        elif isinstance(stmt, ast.While):
+            _rename_expr(stmt.cond, rename)
+        elif isinstance(stmt, ast.For):
+            if stmt.var in rename:
+                stmt.var = rename[stmt.var]
+            _rename_expr(stmt.iterable, rename)
+        elif isinstance(stmt, ast.Global):
+            stmt.names = [rename.get(n, n) for n in stmt.names]
+        elif isinstance(stmt, ast.Clear):
+            stmt.names = [rename.get(n, n) for n in stmt.names]
+
+
+def _strip_returns(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Drop a trailing bare ``return`` (other returns blocked inlining)."""
+    while body and isinstance(body[-1], ast.Return):
+        body = body[:-1]
+    return body
+
+
+def inline_function(
+    fn: ast.FunctionDef,
+    lookup: Callable[[str], ast.FunctionDef | None],
+) -> tuple[ast.FunctionDef, int]:
+    """Inline eligible calls in ``fn``; returns (new fn, #inlined)."""
+    inliner = Inliner(lookup)
+    result = inliner.run(fn)
+    return result, inliner.inlined_calls

@@ -1,0 +1,250 @@
+"""Shared code-selection rules (Section 2.6.1).
+
+Both code generators drive code selection from the parsed AST plus type
+annotations, through this module.  The decisions made here are the paper's
+selection rules:
+
+* **representation** — scalar arithmetic/logical operations, elementary
+  math functions and scalar assignments are inlined on raw host scalars
+  ("probably the most important performance optimization in MaJIC");
+  everything else stays a boxed MxArray handled by library calls;
+* **subscript inlining** — scalar index operations proven safe compile to
+  direct buffer accesses;
+* **unrolling** — elementary vector operations with exactly known small
+  shapes (≤ 3×3) are completely unrolled, with pre-allocated temporaries;
+* **dgemv fusion** — expression trees of the form ``a*X + b*C*Y`` collapse
+  into a single BLAS call;
+* **read-only parameters** — call-by-value copies are elided for
+  parameters (and variables) that are never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ast_nodes as ast
+from repro.inference.annotations import Annotations
+from repro.typesys.intrinsic import Intrinsic
+from repro.typesys.mtype import MType
+
+#: Largest element count for complete unrolling of vector operations
+#: ("very effective on small (up to 3 x 3) matrices and vectors").
+UNROLL_LIMIT = 9
+
+#: Kinds of value representation in generated code.
+RAW_REAL = "f"
+RAW_INT = "i"
+RAW_COMPLEX = "c"
+BOXED = "b"
+
+_ELEMENTWISE_OPS = {"+", "-", ".*", "./", ".^"}
+
+
+def repr_of_type(mtype: MType) -> str:
+    """Representation kind for a value of this type."""
+    if mtype.is_scalar and mtype.is_real_like:
+        return RAW_REAL
+    if mtype.is_scalar and mtype.intrinsic is Intrinsic.COMPLEX:
+        return RAW_COMPLEX
+    return BOXED
+
+
+@dataclass
+class DgemvMatch:
+    """``alpha*A*x + beta*y`` pieces extracted from an expression tree."""
+
+    alpha: ast.Expr | None     # None = 1.0
+    matrix: ast.Expr
+    vector: ast.Expr
+    beta: ast.Expr | None      # None = 1.0
+    addend: ast.Expr | None    # None = no +beta*y term
+
+
+class Selector:
+    """Code-selection oracle for one function's typed AST."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        annotations: Annotations,
+        unroll_enabled: bool = True,
+        dgemv_enabled: bool = True,
+    ):
+        self.fn = fn
+        self.annotations = annotations
+        self.unroll_enabled = unroll_enabled
+        self.dgemv_enabled = dgemv_enabled
+        self.mutated_names = self._collect_mutated()
+
+    # ------------------------------------------------------------------
+    def _collect_mutated(self) -> set[str]:
+        """Names whose storage may be written in place."""
+        mutated: set[str] = set()
+        for stmt in ast.walk_stmts(self.fn.body):
+            if isinstance(stmt, ast.Assign) and stmt.target.is_indexed:
+                mutated.add(stmt.target.name)
+            elif isinstance(stmt, ast.MultiAssign):
+                for target in stmt.targets:
+                    if target.is_indexed:
+                        mutated.add(target.name)
+        return mutated
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+    def var_repr(self, name: str) -> str:
+        return repr_of_type(self.annotations.var_type(name))
+
+    def expr_repr(self, node: ast.Expr) -> str:
+        return repr_of_type(self.annotations.type_of(node))
+
+    def is_read_only(self, name: str) -> bool:
+        """Read-only variables need no call-by-value entry copy."""
+        return name not in self.mutated_names
+
+    # ------------------------------------------------------------------
+    # Unrolling (elementary vector operations, exact small shapes)
+    # ------------------------------------------------------------------
+    def unroll_shape(self, node: ast.Expr):
+        """(rows, cols) if the node's result should be built unrolled."""
+        if not self.unroll_enabled:
+            return None
+        mtype = self.annotations.type_of(node)
+        if not mtype.has_exact_shape or not mtype.is_real_like:
+            return None
+        shape = mtype.exact_shape
+        if shape.numel == 0 or shape.numel > UNROLL_LIMIT or shape.is_scalar:
+            return None
+        if isinstance(node, ast.MatrixLit):
+            flat = [item for row in node.rows for item in row]
+            if all(
+                repr_of_type(self.annotations.type_of(e)) in (RAW_REAL, RAW_INT)
+                for e in flat
+            ):
+                return (shape.rows, shape.cols)
+            return None
+        if isinstance(node, ast.BinaryOp) and (
+            node.op in _ELEMENTWISE_OPS
+            or (node.op in ("*", "/") and self._one_side_scalar(node))
+        ):
+            if self._unrollable_operand(node.left) and self._unrollable_operand(
+                node.right
+            ):
+                return (shape.rows, shape.cols)
+        if isinstance(node, ast.UnaryOp) and node.op is ast.UnaryKind.NEG:
+            if self._unrollable_operand(node.operand):
+                return (shape.rows, shape.cols)
+        return None
+
+    def _one_side_scalar(self, node: ast.BinaryOp) -> bool:
+        left = self.annotations.type_of(node.left)
+        right = self.annotations.type_of(node.right)
+        if node.op == "*":
+            return left.is_scalar or right.is_scalar
+        return right.is_scalar  # '/' by a scalar only
+
+    def _unrollable_operand(self, node: ast.Expr) -> bool:
+        """Operand readable element-by-element without a library call."""
+        mtype = self.annotations.type_of(node)
+        if mtype.is_scalar and mtype.is_real_like:
+            return True
+        if not mtype.has_exact_shape or not mtype.is_real_like:
+            return False
+        if mtype.exact_shape.numel > UNROLL_LIMIT:
+            return False
+        # Variables and nested unrollable expressions both qualify; the
+        # generators materialize nested results into site buffers.
+        return True
+
+    # ------------------------------------------------------------------
+    # dgemv fusion
+    # ------------------------------------------------------------------
+    def match_dgemv(self, node: ast.Expr) -> DgemvMatch | None:
+        """Match ``alpha*A*x [+ beta*y]`` patterns (Section 2.6.1)."""
+        if not self.dgemv_enabled or not isinstance(node, ast.BinaryOp):
+            return None
+        if node.op == "+":
+            left = self._match_ax(node.left)
+            if left is not None:
+                beta, addend = self._match_scaled_vector(node.right)
+                if addend is not None:
+                    return DgemvMatch(
+                        alpha=left[0], matrix=left[1], vector=left[2],
+                        beta=beta, addend=addend,
+                    )
+            right = self._match_ax(node.right)
+            if right is not None:
+                beta, addend = self._match_scaled_vector(node.left)
+                if addend is not None:
+                    return DgemvMatch(
+                        alpha=right[0], matrix=right[1], vector=right[2],
+                        beta=beta, addend=addend,
+                    )
+            return None
+        if node.op == "-":
+            left = self._match_ax(node.left)
+            if left is not None:
+                beta, addend = self._match_scaled_vector(node.right)
+                if addend is not None and beta is None:
+                    # a*A*x - y  =>  dgemv(alpha, A, x, -1, y)
+                    return DgemvMatch(
+                        alpha=left[0], matrix=left[1], vector=left[2],
+                        beta=_NEG_ONE, addend=addend,
+                    )
+            return None
+        matched = self._match_ax(node)
+        if matched is not None:
+            return DgemvMatch(
+                alpha=matched[0], matrix=matched[1], vector=matched[2],
+                beta=None, addend=None,
+            )
+        return None
+
+    def _match_ax(self, node: ast.Expr):
+        """Match ``A*x`` or ``alpha*A*x`` where A is a matrix, x a vector."""
+        if not isinstance(node, ast.BinaryOp) or node.op != "*":
+            return None
+        right_type = self.annotations.type_of(node.right)
+        if not self._is_vector_type(right_type):
+            return None
+        left = node.left
+        left_type = self.annotations.type_of(left)
+        if self._is_matrix_type(left_type):
+            return (None, left, node.right)
+        if (
+            isinstance(left, ast.BinaryOp)
+            and left.op == "*"
+            and self.annotations.type_of(left.left).is_scalar
+            and self._is_matrix_type(self.annotations.type_of(left.right))
+        ):
+            return (left.left, left.right, node.right)
+        return None
+
+    def _match_scaled_vector(self, node: ast.Expr):
+        """Match ``y`` or ``beta*y`` for a vector y; returns (beta, y)."""
+        mtype = self.annotations.type_of(node)
+        if self._is_vector_type(mtype):
+            if (
+                isinstance(node, ast.BinaryOp)
+                and node.op == "*"
+                and self.annotations.type_of(node.left).is_scalar
+            ):
+                return (node.left, node.right)
+            return (None, node)
+        return (None, None)
+
+    @staticmethod
+    def _is_vector_type(mtype: MType) -> bool:
+        if mtype.is_scalar or not mtype.is_real_like and mtype.intrinsic is not Intrinsic.COMPLEX:
+            return False
+        return mtype.maxshape.cols == 1 and not mtype.is_scalar
+
+    @staticmethod
+    def _is_matrix_type(mtype: MType) -> bool:
+        if mtype.is_scalar:
+            return False
+        return mtype.intrinsic.leq(Intrinsic.COMPLEX) and not mtype.is_bottom
+
+
+#: Sentinel for a literal -1.0 beta in dgemv matches.
+_NEG_ONE = ast.Number(value=-1.0)

@@ -1,0 +1,131 @@
+"""The public MaJIC session API.
+
+A :class:`MajicSession` bundles the interactive front end, the code
+repository and a platform configuration::
+
+    from repro import MajicSession
+
+    s = MajicSession(platform="sparc")
+    s.add_source('''
+    function p = poly(x)
+    p = x.^5 + 3*x + 2;
+    ''')
+    s.eval("y = 2 + 2;")
+    print(s.call("poly", 4))        # -> 1038.0 (JIT compiled on demand)
+    s.speculate_all()               # ahead-of-time pass
+    print(s.call("poly", 5.0))      # served by speculative code
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.codegen.jitgen import JitOptions
+from repro.codegen.srcgen import SrcOptions
+from repro.core.platformcfg import AblationFlags, PlatformConfig, platform_by_name
+from repro.interp.frontend import Invocation, MajicFrontEnd
+from repro.repository.repo import CodeRepository
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+from repro.runtime.values import from_python, to_python
+
+# Recursive MATLAB benchmarks (ackermann) interpret/execute through deep
+# host recursion; lift the host limit once at import.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+class MajicSession:
+    """The user-facing MaJIC system (front end + repository)."""
+
+    def __init__(
+        self,
+        platform: str | PlatformConfig = "sparc",
+        ablation: AblationFlags | None = None,
+        jit_options: JitOptions | None = None,
+        src_options: SrcOptions | None = None,
+        inline_enabled: bool = True,
+        seed: int | None = 0,
+    ):
+        if isinstance(platform, str):
+            platform = platform_by_name(platform)
+        self.platform = platform
+        self.ablation = ablation or AblationFlags()
+        self.sink = OutputSink()
+        self.repository = CodeRepository(
+            jit_options=jit_options or platform.jit_options(self.ablation),
+            src_options=src_options or platform.src_options(ablation=self.ablation),
+            sink=self.sink,
+            inline_enabled=inline_enabled,
+        )
+        self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
+        if seed is not None:
+            GLOBAL_RANDOM.seed(seed)
+
+    # ------------------------------------------------------------------
+    # Source management
+    # ------------------------------------------------------------------
+    def add_source(self, text: str) -> list[str]:
+        """Register one or more function definitions from source text."""
+        return self.repository.add_source(text)
+
+    def add_path(self, directory) -> list[str]:
+        """Put a directory of ``.m`` files on the snooped path."""
+        return self.repository.add_path(directory)
+
+    def rescan(self) -> list[str]:
+        """Re-snoop the path, picking up changed files."""
+        return self.repository.rescan()
+
+    def speculate_all(self) -> list[str]:
+        """Run the speculative ahead-of-time compiler over everything."""
+        return self.repository.speculate_all()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def eval(self, text: str) -> None:
+        """Interpret top-level code in the session workspace."""
+        self.frontend.eval(text)
+
+    def call(self, name: str, *args, nargout: int = 1):
+        """Call a user function; returns unboxed host value(s).
+
+        With ``nargout == 1`` the single result is returned bare; larger
+        ``nargout`` returns a tuple.
+        """
+        boxed = [from_python(a) for a in args]
+        outputs = self.frontend.call(name, boxed, nargout=nargout)
+        unboxed = tuple(to_python(v) for v in outputs)
+        if nargout <= 1:
+            return unboxed[0] if unboxed else None
+        return unboxed
+
+    def call_boxed(self, name: str, args, nargout: int = 1):
+        """Call with/returning boxed MxArray values (harness use)."""
+        return self.frontend.call(name, list(args), nargout=nargout)
+
+    def get(self, name: str):
+        """Read a workspace variable as a host value."""
+        value = self.frontend.workspace.get(name)
+        return None if value is None else to_python(value)
+
+    def output(self) -> str:
+        """Everything the session printed so far."""
+        return self.sink.getvalue()
+
+    def reseed(self, seed: int) -> None:
+        """Reset the shared random stream (deterministic comparisons)."""
+        GLOBAL_RANDOM.seed(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.repository.stats
+
+    def invocation(self, name: str, *args, nargout: int = 1) -> Invocation:
+        return Invocation(
+            name=name,
+            args=[from_python(a) for a in args],
+            nargout=nargout,
+        )

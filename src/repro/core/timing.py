@@ -1,0 +1,55 @@
+"""Timing utilities for the measurement harness (Figure 6 breakdowns)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A context-manager stopwatch."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Where one benchmark run spent its time (Figure 6's categories)."""
+
+    disambiguation: float = 0.0
+    type_inference: float = 0.0
+    codegen: float = 0.0
+    execution: float = 0.0
+
+    @property
+    def compile(self) -> float:
+        return self.disambiguation + self.type_inference + self.codegen
+
+    @property
+    def total(self) -> float:
+        return self.compile + self.execution
+
+    def fractions(self) -> dict[str, float]:
+        """Normalized shares (the stacked bars of Figure 6)."""
+        total = self.total or 1.0
+        return {
+            "disamb": self.disambiguation / total,
+            "typeinf": self.type_inference / total,
+            "codegen": self.codegen / total,
+            "exec": self.execution / total,
+        }
+
+    def add_phases(self, phase_times) -> None:
+        self.disambiguation += phase_times.disambiguation
+        self.type_inference += phase_times.type_inference
+        self.codegen += phase_times.codegen

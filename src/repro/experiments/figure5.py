@@ -1,0 +1,57 @@
+"""Figure 5: performance on the MIPS platform.
+
+Same four bars as Figure 4 under the MIPS configuration: the modelled
+native backend is strong (FALCON and speculative code inherit it), while
+the JIT "is not yet completely implemented on this platform" — several of
+its selection optimizations are off and its register file is smaller.
+``adapt`` is excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.registry import benchmark_names
+from repro.core.platformcfg import MIPS
+from repro.experiments.harness import speedup_table
+from repro.experiments.report import render_speedup_chart
+from repro.experiments.figure4 import FALCON_OMITTED
+
+ENGINES = ("mcc", "falcon", "jit", "spec")
+
+
+def generate(
+    names: list[str] | None = None,
+    repeats: int = 3,
+    scale_overrides: dict[str, tuple] | None = None,
+) -> dict[str, dict[str, float]]:
+    names = [
+        n for n in (names or benchmark_names())
+        if n not in MIPS.excluded_benchmarks
+    ]
+    table = speedup_table(
+        names,
+        engines=ENGINES,
+        platform=MIPS,
+        repeats=repeats,
+        scale_overrides=scale_overrides,
+    )
+    for name in FALCON_OMITTED:
+        if name in table:
+            table[name].pop("falcon", None)
+    return table
+
+
+def render(table: dict[str, dict[str, float]]) -> str:
+    return render_speedup_chart(
+        table, engines=ENGINES,
+        title="Figure 5: Performance on the MIPS platform",
+    )
+
+
+def main() -> str:  # pragma: no cover - CLI convenience
+    text = render(generate(repeats=1))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

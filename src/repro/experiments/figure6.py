@@ -1,0 +1,45 @@
+"""Figure 6: the composition of JIT execution time.
+
+For each benchmark run in JIT mode from an empty repository, the fraction
+of total runtime spent in disambiguation, type inference, code generation
+and actual execution (a 100% stacked bar per benchmark in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.registry import benchmark_names
+from repro.core.platformcfg import SPARC
+from repro.experiments.harness import run_benchmark
+from repro.experiments.report import render_stacked_fractions
+
+
+def generate(
+    names: list[str] | None = None,
+    repeats: int = 3,
+    scale_overrides: dict[str, tuple] | None = None,
+) -> dict[str, dict[str, float]]:
+    overrides = scale_overrides or {}
+    rows: dict[str, dict[str, float]] = {}
+    for name in names or benchmark_names():
+        result = run_benchmark(
+            name, "jit", platform=SPARC,
+            scale=overrides.get(name), repeats=repeats,
+        )
+        assert result.breakdown is not None
+        rows[name] = result.breakdown.fractions()
+    return rows
+
+
+def render(rows: dict[str, dict[str, float]]) -> str:
+    title = "Figure 6: The composition of JIT execution"
+    return title + "\n" + "=" * len(title) + "\n" + render_stacked_fractions(rows)
+
+
+def main() -> str:  # pragma: no cover - CLI convenience
+    text = render(generate(repeats=1))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,135 @@
+"""The Section 5 hand-optimization experiment.
+
+"In order to estimate the effect of adding more optimizations to the JIT
+compiler, we hand-optimized the finedif benchmark by hand-unrolling its
+innermost loop and performing common subexpression elimination.  We
+obtained a version of finedif that was almost 100% faster than the normal
+JIT-compiled finedif, and within 20% of the performance of the best
+(native compiler-generated) version of the code."
+
+We replay the experiment: ``HAND_OPTIMIZED`` is finedif with its inner
+i-loop unrolled by two and the repeated subexpressions factored into
+temporaries, exactly the transformations named above.  The harness
+measures (a) plain JIT finedif, (b) JIT hand-optimized finedif, and
+(c) the best ahead-of-time code, all with compile time excluded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.benchsuite.registry import source_of
+from repro.benchsuite.workloads import boxed_workload
+from repro.core.majic import MajicSession
+from repro.core.platformcfg import SPARC
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+#: finedif with the innermost loop unrolled 2x and CSE applied by hand.
+HAND_OPTIMIZED = """
+function U = finedif_hand(n, m, c)
+h = 1 / (n - 1);
+k = 1 / (m - 1);
+r = c * k / h;
+r2 = r * r;
+r22 = r * r / 2;
+s1 = 1 - r * r;
+s2 = 2 - 2 * r * r;
+U = zeros(n, m);
+for i = 2:n-1,
+  x = h * (i - 1);
+  sx = sin(pi * x);
+  U(i, 1) = sx;
+  U(i, 2) = s1 * sx + r22 * (sin(pi * (x + h)) + sin(pi * (x - h)));
+end
+odd = mod(n - 2, 2);
+last = n - 1 - odd;
+for j = 3:m,
+  jm1 = j - 1;
+  jm2 = j - 2;
+  for i = 2:2:last-1,
+    um = U(i-1, jm1);
+    u0 = U(i, jm1);
+    up = U(i+1, jm1);
+    upp = U(i+2, jm1);
+    U(i, j) = s2 * u0 + r2 * (um + up) - U(i, jm2);
+    U(i+1, j) = s2 * up + r2 * (u0 + upp) - U(i+1, jm2);
+  end
+  if odd > 0,
+    U(n-1, j) = s2 * U(n-1, jm1) + r2 * (U(n-2, jm1) + U(n, jm1)) - U(n-1, jm2);
+  end
+end
+"""
+
+
+@dataclass
+class HandOptResult:
+    jit_s: float
+    hand_s: float
+    best_aot_s: float
+
+    @property
+    def hand_gain(self) -> float:
+        """How much faster the hand-optimized JIT code is (paper: ~2x)."""
+        return self.jit_s / self.hand_s
+
+    @property
+    def gap_to_best(self) -> float:
+        """hand-optimized time relative to the best AOT code
+        (paper: within 20%, i.e. <= ~1.2)."""
+        return self.hand_s / self.best_aot_s
+
+
+def _steady_state(session: MajicSession, name: str, args, repeats: int) -> float:
+    GLOBAL_RANDOM.seed(0)
+    session.call_boxed(name, [a.copy() for a in args], nargout=1)  # compile
+    best = float("inf")
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(0)
+        start = time.perf_counter()
+        session.call_boxed(name, [a.copy() for a in args], nargout=1)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def generate(scale: tuple = (64, 64, 1.0), repeats: int = 3) -> HandOptResult:
+    args = boxed_workload("finedif", scale)
+
+    jit = MajicSession(platform=SPARC)
+    jit.add_source(source_of("finedif"))
+    jit_s = _steady_state(jit, "finedif", args, repeats)
+
+    hand = MajicSession(platform=SPARC)
+    hand.add_source(HAND_OPTIMIZED)
+    hand_s = _steady_state(hand, "finedif_hand", args, repeats)
+
+    best = MajicSession(platform=SPARC)
+    best.add_source(source_of("finedif"))
+    best.speculate_all()
+    best_s = _steady_state(best, "finedif", args, repeats)
+
+    return HandOptResult(jit_s=jit_s, hand_s=hand_s, best_aot_s=best_s)
+
+
+def render(result: HandOptResult) -> str:
+    return "\n".join(
+        [
+            "Section 5 hand-optimization experiment (finedif)",
+            f"  plain JIT             : {result.jit_s * 1e3:9.2f} ms",
+            f"  hand-optimized JIT    : {result.hand_s * 1e3:9.2f} ms "
+            f"({result.hand_gain:.2f}x faster; paper: ~2x)",
+            f"  best ahead-of-time    : {result.best_aot_s * 1e3:9.2f} ms "
+            f"(hand-optimized is {result.gap_to_best:.2f}x of it; "
+            "paper: within 20%)",
+        ]
+    )
+
+
+def main() -> str:  # pragma: no cover - CLI convenience
+    text = render(generate())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

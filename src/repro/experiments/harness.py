@@ -1,0 +1,232 @@
+"""The measurement harness (Section 3.2's methodology).
+
+* the gauge is speedup ``s = t_i / t_c`` over the interpreter;
+* JIT runtimes *include* JIT compile time (fresh, empty repository per
+  run); speculative runtimes assume the repository compiled ahead of time
+  (compile excluded) unless the speculative code fails to match, in which
+  case the JIT kicks in during the run;
+* mcc and FALCON are batch compilers measured with compilation excluded;
+* times are "best of N runs".
+
+The shared random stream is reseeded identically before every run so
+randomized benchmarks compute identical results under every engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.falcon import FalconCompilerEngine
+from repro.baselines.mcc import MccCompilerEngine
+from repro.benchsuite.registry import benchmark, source_of
+from repro.benchsuite.workloads import boxed_workload, checksum
+from repro.core.majic import MajicSession
+from repro.core.platformcfg import AblationFlags, PlatformConfig, SPARC
+from repro.core.timing import ExecutionBreakdown
+from repro.frontend.parser import parse
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+
+ENGINES = ("interp", "mcc", "falcon", "jit", "spec")
+
+_SEED = 12345
+
+
+@dataclass
+class RunResult:
+    """One benchmark × engine measurement."""
+
+    benchmark: str
+    engine: str
+    platform: str
+    runtime_s: float
+    checksum: float
+    repeats: int
+    compile_s: float = 0.0           # excluded (batch/speculative) compile
+    breakdown: ExecutionBreakdown | None = None
+    scale: tuple = ()
+
+
+def _sources(name: str) -> list[str]:
+    spec = benchmark(name)
+    return [source_of(name)] + [source_of(h) for h in spec.helpers]
+
+
+def _result_digest(outputs) -> float:
+    return checksum(outputs[0]) if outputs else 0.0
+
+
+# ----------------------------------------------------------------------
+# Engine runners
+# ----------------------------------------------------------------------
+def _run_interp(name: str, args, nargout: int, repeats: int):
+    table = {}
+    for text in _sources(name):
+        program = parse(text)
+        for fn in program.functions:
+            table[fn.name] = fn
+    interp = Interpreter(function_lookup=table.get, sink=OutputSink())
+    best = float("inf")
+    digest = 0.0
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(_SEED)
+        fresh_args = [a.copy() for a in args]
+        start = time.perf_counter()
+        outputs = interp.call_function(table[name], fresh_args, nargout)
+        best = min(best, time.perf_counter() - start)
+        digest = _result_digest(outputs)
+    return best, digest, 0.0, None
+
+
+def _run_jit(
+    name: str, args, nargout: int, repeats: int,
+    platform: PlatformConfig, ablation: AblationFlags,
+):
+    best = float("inf")
+    digest = 0.0
+    breakdown = None
+    for _ in range(repeats):
+        session = MajicSession(platform=platform, ablation=ablation, seed=None)
+        for text in _sources(name):
+            session.add_source(text)
+        GLOBAL_RANDOM.seed(_SEED)
+        fresh_args = [a.copy() for a in args]
+        start = time.perf_counter()
+        outputs = session.call_boxed(name, fresh_args, nargout=nargout)
+        elapsed = time.perf_counter() - start
+        digest = _result_digest(outputs)
+        if elapsed < best:
+            best = elapsed
+            breakdown = ExecutionBreakdown()
+            for _, mode, phases in session.repository.compile_log:
+                if mode == "jit":
+                    breakdown.add_phases(phases)
+            breakdown.execution = max(elapsed - breakdown.compile, 0.0)
+    return best, digest, 0.0, breakdown
+
+
+def _run_spec(
+    name: str, args, nargout: int, repeats: int,
+    platform: PlatformConfig, ablation: AblationFlags,
+):
+    session = MajicSession(platform=platform, ablation=ablation, seed=None)
+    for text in _sources(name):
+        session.add_source(text)
+    compile_start = time.perf_counter()
+    session.speculate_all()
+    hidden_compile = time.perf_counter() - compile_start
+    best = float("inf")
+    digest = 0.0
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(_SEED)
+        fresh_args = [a.copy() for a in args]
+        start = time.perf_counter()
+        outputs = session.call_boxed(name, fresh_args, nargout=nargout)
+        best = min(best, time.perf_counter() - start)
+        digest = _result_digest(outputs)
+    return best, digest, hidden_compile, None
+
+
+def _run_baseline(
+    engine_name: str, name: str, args, nargout: int, repeats: int,
+    platform: PlatformConfig,
+):
+    if engine_name == "mcc":
+        engine = MccCompilerEngine()
+    else:
+        engine = FalconCompilerEngine(
+            native_opt_level=platform.native_opt_level
+        )
+    for text in _sources(name):
+        engine.add_source(text)
+    # Warm-up call performs batch compilation (excluded from runtime).
+    GLOBAL_RANDOM.seed(_SEED)
+    engine.execute(name, [a.copy() for a in args], nargout)
+    best = float("inf")
+    digest = 0.0
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(_SEED)
+        fresh_args = [a.copy() for a in args]
+        start = time.perf_counter()
+        outputs = engine.execute(name, fresh_args, nargout)
+        best = min(best, time.perf_counter() - start)
+        digest = _result_digest(outputs)
+    return best, digest, engine.compile_seconds, None
+
+
+# ----------------------------------------------------------------------
+def run_benchmark(
+    name: str,
+    engine: str = "jit",
+    platform: PlatformConfig = SPARC,
+    scale: tuple | None = None,
+    repeats: int = 3,
+    ablation: AblationFlags | None = None,
+    nargout: int = 1,
+) -> RunResult:
+    """Measure one benchmark under one engine; best-of-``repeats``."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    spec = benchmark(name)
+    scale = tuple(scale if scale is not None else spec.default_scale)
+    args = boxed_workload(name, scale)
+    ablation = ablation or AblationFlags()
+
+    if engine == "interp":
+        best, digest, hidden, breakdown = _run_interp(
+            name, args, nargout, repeats
+        )
+    elif engine == "jit":
+        best, digest, hidden, breakdown = _run_jit(
+            name, args, nargout, repeats, platform, ablation
+        )
+    elif engine == "spec":
+        best, digest, hidden, breakdown = _run_spec(
+            name, args, nargout, repeats, platform, ablation
+        )
+    else:
+        best, digest, hidden, breakdown = _run_baseline(
+            engine, name, args, nargout, repeats, platform
+        )
+    return RunResult(
+        benchmark=name,
+        engine=engine,
+        platform=platform.name,
+        runtime_s=best,
+        checksum=digest,
+        repeats=repeats,
+        compile_s=hidden,
+        breakdown=breakdown,
+        scale=scale,
+    )
+
+
+def speedup_table(
+    names: list[str],
+    engines: tuple[str, ...] = ("mcc", "falcon", "jit", "spec"),
+    platform: PlatformConfig = SPARC,
+    repeats: int = 3,
+    scale_overrides: dict[str, tuple] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Speedups over the interpreter for a set of benchmarks/engines."""
+    overrides = scale_overrides or {}
+    table: dict[str, dict[str, float]] = {}
+    for name in names:
+        scale = overrides.get(name)
+        base = run_benchmark(
+            name, "interp", platform=platform, scale=scale, repeats=repeats
+        )
+        row: dict[str, float] = {"interp_s": base.runtime_s}
+        for engine in engines:
+            result = run_benchmark(
+                name, engine, platform=platform, scale=scale, repeats=repeats
+            )
+            row[engine] = (
+                base.runtime_s / result.runtime_s
+                if result.runtime_s > 0
+                else float("inf")
+            )
+        table[name] = row
+    return table

@@ -1,0 +1,88 @@
+"""ASCII rendering of experiment results (tables and log-scale bars)."""
+
+from __future__ import annotations
+
+import math
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Simple fixed-width table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def log_bar(value: float, lo: float = 0.1, hi: float = 1000.0, width: int = 40) -> str:
+    """One log-scale bar, the Figure 4/5 visual."""
+    if value <= 0 or math.isnan(value):
+        return ""
+    clamped = min(max(value, lo), hi)
+    fraction = (math.log10(clamped) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    return "#" * max(int(fraction * width), 1)
+
+
+def render_speedup_chart(
+    table: dict[str, dict[str, float]],
+    engines: tuple[str, ...] = ("mcc", "falcon", "jit", "spec"),
+    title: str = "",
+) -> str:
+    """Log-scale grouped bar chart as text (Figures 4 and 5)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"(log scale, {0.1} .. {1000}x speedup over the interpreter)")
+    for name, row in table.items():
+        lines.append(f"{name}")
+        for engine in engines:
+            value = row.get(engine)
+            if value is None:
+                lines.append(f"  {engine:7s} (not run)")
+                continue
+            lines.append(
+                f"  {engine:7s} {log_bar(value)} {value:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def render_stacked_fractions(
+    rows: dict[str, dict[str, float]],
+    parts: tuple[str, ...] = ("disamb", "typeinf", "codegen", "exec"),
+    width: int = 50,
+) -> str:
+    """Figure 6's 100% stacked bars, in text."""
+    symbols = {"disamb": "d", "typeinf": "t", "codegen": "c", "exec": "."}
+    lines = [f"100% stacked: {', '.join(f'{symbols[p]}={p}' for p in parts)}"]
+    for name, fractions in rows.items():
+        bar = ""
+        for part in parts:
+            count = int(round(fractions.get(part, 0.0) * width))
+            bar += symbols[part] * count
+        bar = (bar + "." * width)[:width]
+        shares = " ".join(
+            f"{part}={fractions.get(part, 0.0) * 100:.1f}%" for part in parts
+        )
+        lines.append(f"{name:10s} |{bar}| {shares}")
+    return "\n".join(lines)

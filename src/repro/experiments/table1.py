@@ -1,0 +1,86 @@
+"""Table 1: the benchmark inventory.
+
+Regenerates the paper's table — name, source, description, problem size,
+lines of code, and interpreted runtime — with both the paper's reported
+values and our measurements at the configured scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite.registry import (
+    BENCHMARKS,
+    actual_lines,
+    benchmark,
+    benchmark_names,
+)
+from repro.experiments.harness import run_benchmark
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Table1Row:
+    name: str
+    source: str
+    description: str
+    paper_size: str
+    paper_lines: int
+    paper_runtime_s: float
+    our_scale: tuple
+    our_lines: int
+    our_interp_runtime_s: float
+
+
+def generate(
+    names: list[str] | None = None,
+    repeats: int = 3,
+    use_paper_scale: bool = False,
+) -> list[Table1Row]:
+    rows = []
+    for name in names or benchmark_names():
+        spec = benchmark(name)
+        scale = spec.paper_scale if use_paper_scale else spec.default_scale
+        result = run_benchmark(name, "interp", scale=scale, repeats=repeats)
+        rows.append(
+            Table1Row(
+                name=name,
+                source=spec.source,
+                description=spec.description,
+                paper_size=spec.paper_problem_size,
+                paper_lines=spec.paper_lines,
+                paper_runtime_s=spec.paper_runtime_s,
+                our_scale=scale,
+                our_lines=actual_lines(name),
+                our_interp_runtime_s=result.runtime_s,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    return format_table(
+        [
+            "benchmark", "source", "description", "paper size",
+            "paper LoC", "paper t_i(s)", "our scale", "our LoC",
+            "our t_i(s)",
+        ],
+        [
+            [
+                r.name, r.source, r.description, r.paper_size,
+                r.paper_lines, r.paper_runtime_s, str(r.our_scale),
+                r.our_lines, r.our_interp_runtime_s,
+            ]
+            for r in rows
+        ],
+    )
+
+
+def main() -> str:  # pragma: no cover - CLI convenience
+    text = render(generate(repeats=1))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

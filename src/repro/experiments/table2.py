@@ -1,0 +1,170 @@
+"""Table 2: JIT vs. speculative type inference.
+
+"[Table 2] compares the speedups produced by the same code generator using
+type annotations generated with either speculation or JIT type inference
+(the speedups were calculated without considering compile time)."
+
+Both columns therefore run the *same* (optimizing) code generator on the
+SPARC configuration; only the origin of the type annotations differs:
+
+* **JIT** — forward inference from the invocation's actual signature;
+* **spec** — the speculator's backward/forward alternation, no calling
+  context.  When the speculated signature does not accept the actual
+  invocation, the JIT kicks in and the run uses invocation-derived
+  annotations (the paper's recursive-benchmark case).
+
+Compile time is excluded (batch warm-up before timing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.engine import BaselineEngine
+from repro.benchsuite.registry import benchmark_names
+from repro.codegen.jitgen import CompiledObject
+from repro.codegen.srcgen import SourceCompiler, SrcOptions
+from repro.experiments.harness import _SEED, _sources, run_benchmark
+from repro.experiments.report import format_table
+from repro.frontend import ast_nodes as ast
+from repro.inference.speculation import Speculator
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.mxarray import MxArray
+from repro.typesys.signature import Signature, signature_of_values
+from repro.benchsuite.workloads import boxed_workload
+
+
+class AnnotationEngine(BaselineEngine):
+    """Optimizing codegen fed by either JIT or speculative annotations."""
+
+    def __init__(self, use_speculation: bool, native_opt_level: int = 1):
+        super().__init__()
+        self.use_speculation = use_speculation
+        self.options = SrcOptions(
+            native_opt_level=native_opt_level, majic_opts=True
+        )
+        self.spec_misses: list[str] = []
+
+    def _compile(self, name: str, example_args: list[MxArray]) -> CompiledObject:
+        fn = self.prepared(name)
+        compiler = SourceCompiler(self.options)
+        invocation_sig = signature_of_values(example_args)
+        if _has_dynamic_calls(fn, self.knows):
+            invocation_sig = Signature.of(
+                t.widen_range() for t in invocation_sig.types
+            )
+        if self.use_speculation:
+            result = Speculator(options=self.options.inference).speculate(fn)
+            padded = _pad(invocation_sig, len(result.signature))
+            if result.signature.accepts(padded):
+                return compiler.compile(
+                    fn, result.signature,
+                    annotations=result.annotations, mode="spec-ann",
+                    is_user_function=self.knows,
+                )
+            # Speculation failed the safety check: the JIT kicks in with
+            # invocation-derived annotations.
+            self.spec_misses.append(name)
+        return compiler.compile(
+            fn, invocation_sig, mode="jit-ann", is_user_function=self.knows
+        )
+
+
+def _pad(signature: Signature, arity: int) -> Signature:
+    from repro.typesys.mtype import MType
+
+    if len(signature) >= arity:
+        return signature
+    return Signature.of(
+        list(signature.types)
+        + [MType.bottom() for _ in range(arity - len(signature))]
+    )
+
+
+def _has_dynamic_calls(fn: ast.FunctionDef, knows) -> bool:
+    for stmt in ast.walk_stmts(fn.body):
+        for expr in ast.stmt_exprs(stmt):
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.Apply) and knows(node.name):
+                    return True
+    return False
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    spec_speedup: float
+    jit_speedup: float
+    spec_missed: bool  # runtime recompilation was required
+
+
+def _measure(engine: AnnotationEngine, name: str, args, repeats: int) -> float:
+    GLOBAL_RANDOM.seed(_SEED)
+    engine.execute(name, [a.copy() for a in args], 1)  # warm-up compile
+    best = float("inf")
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(_SEED)
+        fresh = [a.copy() for a in args]
+        start = time.perf_counter()
+        engine.execute(name, fresh, 1)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def generate(
+    names: list[str] | None = None,
+    repeats: int = 3,
+    scale_overrides: dict[str, tuple] | None = None,
+) -> list[Table2Row]:
+    overrides = scale_overrides or {}
+    rows = []
+    for name in names or benchmark_names():
+        scale = overrides.get(name)
+        interp = run_benchmark(name, "interp", scale=scale, repeats=repeats)
+        args = boxed_workload(name, scale)
+
+        jit_engine = AnnotationEngine(use_speculation=False)
+        spec_engine = AnnotationEngine(use_speculation=True)
+        for text in _sources(name):
+            jit_engine.add_source(text)
+            spec_engine.add_source(text)
+        jit_time = _measure(jit_engine, name, args, repeats)
+        spec_time = _measure(spec_engine, name, args, repeats)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                spec_speedup=interp.runtime_s / spec_time if spec_time else 0.0,
+                jit_speedup=interp.runtime_s / jit_time if jit_time else 0.0,
+                spec_missed=bool(spec_engine.spec_misses),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table2Row]) -> str:
+    header = "Table 2: JIT vs. speculative type inference (compile time excluded)"
+    table = format_table(
+        ["benchmark", "spec.", "JIT", "spec/JIT", "runtime recompile"],
+        [
+            [
+                r.benchmark,
+                r.spec_speedup,
+                r.jit_speedup,
+                r.spec_speedup / r.jit_speedup if r.jit_speedup else 0.0,
+                "yes" if r.spec_missed else "",
+            ]
+            for r in rows
+        ],
+    )
+    return header + "\n" + table
+
+
+def main() -> str:  # pragma: no cover - CLI convenience
+    text = render(generate(repeats=1))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,24 @@
+"""MATLAB front end: scanner, parser, AST and pretty printer.
+
+The parser follows FALCON's grammar for the MATLAB subset the paper's
+benchmarks exercise (Section 2: "MaJIC's parser is based on FALCON's parser
+with a few minor improvements"): function files with subfunctions, scripts,
+the full expression grammar including matrix literals, colon ranges, ``end``
+arithmetic in subscripts, and multi-value assignment.
+"""
+
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse, parse_file, parse_expression
+from repro.frontend import ast_nodes as ast
+from repro.frontend.pretty import pretty
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_file",
+    "parse_expression",
+    "ast",
+    "pretty",
+]

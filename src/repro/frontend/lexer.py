@@ -1,0 +1,266 @@
+"""The MATLAB scanner.
+
+Handles the lexical quirks that make MATLAB scanning context-sensitive:
+
+* ``'`` is either the transpose operator or a string delimiter, depending on
+  the previous token (transpose after an identifier, number, closing bracket
+  or another transpose; string otherwise);
+* ``...`` continues a logical line across physical lines;
+* ``%`` starts a comment to end of line;
+* newlines are significant (statement separators) and are emitted as tokens;
+* ``3i`` / ``2.5j`` are imaginary literals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError, SourceLocation
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+_TRANSPOSE_CONTEXT = {
+    TokenKind.IDENT,
+    TokenKind.NUMBER,
+    TokenKind.IMAGINARY,
+    TokenKind.RPAREN,
+    TokenKind.RBRACKET,
+    TokenKind.QUOTE,
+    TokenKind.DOT_QUOTE,
+    TokenKind.STRING,
+}
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "~=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.ANDAND,
+    "||": TokenKind.OROR,
+    ".*": TokenKind.DOT_STAR,
+    "./": TokenKind.DOT_SLASH,
+    ".\\": TokenKind.DOT_BACKSLASH,
+    ".^": TokenKind.DOT_CARET,
+    ".'": TokenKind.DOT_QUOTE,
+}
+
+_ONE_CHAR = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "\\": TokenKind.BACKSLASH,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "&": TokenKind.AND,
+    "|": TokenKind.OR,
+    "~": TokenKind.NOT,
+    "=": TokenKind.ASSIGN,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    ":": TokenKind.COLON,
+}
+
+
+class Lexer:
+    """Streaming scanner over one source string."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+        # Stack of open grouping characters; whitespace only acts as an
+        # element separator when the innermost open group is a bracket.
+        self._groups: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _emit(self, kind: TokenKind, text: str, location: SourceLocation) -> None:
+        if kind is TokenKind.LBRACKET:
+            self._groups.append("[")
+        elif kind is TokenKind.LPAREN:
+            self._groups.append("(")
+        elif kind in (TokenKind.RBRACKET, TokenKind.RPAREN) and self._groups:
+            self._groups.pop()
+        self.tokens.append(Token(kind, text, location))
+
+    @property
+    def _in_bracket(self) -> bool:
+        return bool(self._groups) and self._groups[-1] == "["
+
+    def _previous_kind(self) -> TokenKind | None:
+        return self.tokens[-1].kind if self.tokens else None
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r":
+                if self._in_bracket and self._bracket_space_separates():
+                    location = self._location()
+                    while self._peek() in " \t\r":
+                        self._advance()
+                    self._emit(TokenKind.COMMA, ",", location)
+                    continue
+                self._advance()
+                continue
+            if ch == "%":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "." and self.source.startswith("...", self.pos):
+                # Continuation: swallow through end of line.
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                self._advance()  # the newline itself
+                continue
+            if ch == "\n":
+                location = self._location()
+                self._advance()
+                if self._in_bracket:
+                    # A newline inside brackets is a row separator.
+                    if self._previous_kind() not in (
+                        TokenKind.SEMICOLON,
+                        TokenKind.LBRACKET,
+                    ):
+                        self._emit(TokenKind.SEMICOLON, ";", location)
+                elif self._previous_kind() not in (None, TokenKind.NEWLINE):
+                    self._emit(TokenKind.NEWLINE, "\n", location)
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._scan_number()
+                continue
+            if ch.isalpha() or ch == "_":
+                self._scan_identifier()
+                continue
+            if ch == "'":
+                if self._previous_kind() in _TRANSPOSE_CONTEXT:
+                    location = self._location()
+                    self._advance()
+                    self._emit(TokenKind.QUOTE, "'", location)
+                else:
+                    self._scan_string()
+                continue
+            two = self.source[self.pos: self.pos + 2]
+            if two in _TWO_CHAR:
+                location = self._location()
+                self._advance(2)
+                self._emit(_TWO_CHAR[two], two, location)
+                continue
+            if ch in _ONE_CHAR:
+                location = self._location()
+                self._advance()
+                self._emit(_ONE_CHAR[ch], ch, location)
+                continue
+            raise LexError(f"unexpected character {ch!r}", self._location())
+        self._emit(TokenKind.EOF, "", self._location())
+        return self.tokens
+
+    def _bracket_space_separates(self) -> bool:
+        """MATLAB's whitespace rule inside ``[...]``.
+
+        A run of spaces separates two elements when the previous token ends
+        an expression and the upcoming text starts one.  ``[1 -2]`` has two
+        elements; ``[1 - 2]`` has one.
+        """
+        if self._previous_kind() not in _TRANSPOSE_CONTEXT:
+            return False
+        offset = 0
+        while self._peek(offset) in " \t\r":
+            offset += 1
+        nxt = self._peek(offset)
+        if not nxt or nxt in "*/\\^=<>&|,;:)]%\n":
+            return False
+        if nxt == ".":
+            after = self._peek(offset + 1)
+            return bool(after.isdigit())
+        if nxt in "+-":
+            after = self._peek(offset + 1)
+            return bool(after) and after not in " \t\r="
+        if nxt == "~":
+            return self._peek(offset + 1) != "="
+        if nxt == "'":
+            return True  # string literal element
+        return nxt.isalnum() or nxt in "_(["
+
+    # ------------------------------------------------------------------
+    def _scan_number(self) -> None:
+        location = self._location()
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != "." and not self._peek(1).isalpha():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start: self.pos]
+        if self._peek() and self._peek() in "ij" and not (
+            self._peek(1).isalnum() or self._peek(1) == "_"
+        ):
+            self._advance()
+            self._emit(TokenKind.IMAGINARY, text, location)
+            return
+        self._emit(TokenKind.NUMBER, text, location)
+
+    def _scan_identifier(self) -> None:
+        location = self._location()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start: self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        self._emit(kind, text, location)
+
+    def _scan_string(self) -> None:
+        location = self._location()
+        self._advance()  # opening quote
+        chunks: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", location)
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chunks.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            chunks.append(ch)
+            self._advance()
+        self._emit(TokenKind.STRING, "".join(chunks), location)
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Scan ``source`` into a token list ending with EOF."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,131 @@
+"""AST pretty printer: renders parse trees back to MATLAB source.
+
+Round-tripping through :func:`pretty` is used by the test suite to validate
+the parser (parse → print → parse yields an equivalent tree) and by the
+inliner to show its transformed bodies when debugging.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+
+_INDENT = "  "
+
+
+def pretty_expr(node: ast.Expr) -> str:
+    """Render an expression (fully parenthesized where precedence matters)."""
+    if isinstance(node, ast.Number):
+        value = node.value
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(node, ast.ImagNumber):
+        value = node.value
+        text = str(int(value)) if value == int(value) else repr(value)
+        return f"{text}i"
+    if isinstance(node, ast.StringLit):
+        return "'" + node.text.replace("'", "''") + "'"
+    if isinstance(node, ast.Ident):
+        return node.name
+    if isinstance(node, ast.UnaryOp):
+        return f"{node.op.value}({pretty_expr(node.operand)})"
+    if isinstance(node, ast.BinaryOp):
+        return f"({pretty_expr(node.left)} {node.op} {pretty_expr(node.right)})"
+    if isinstance(node, ast.Transpose):
+        mark = "'" if node.conjugate else ".'"
+        return f"({pretty_expr(node.operand)}){mark}"
+    if isinstance(node, ast.Range):
+        if node.step is not None:
+            return (
+                f"({pretty_expr(node.start)}:{pretty_expr(node.step)}"
+                f":{pretty_expr(node.stop)})"
+            )
+        return f"({pretty_expr(node.start)}:{pretty_expr(node.stop)})"
+    if isinstance(node, ast.ColonAll):
+        return ":"
+    if isinstance(node, ast.EndMarker):
+        return "end"
+    if isinstance(node, ast.MatrixLit):
+        rows = "; ".join(
+            ", ".join(pretty_expr(item) for item in row) for row in node.rows
+        )
+        return f"[{rows}]"
+    if isinstance(node, ast.Apply):
+        args = ", ".join(pretty_expr(arg) for arg in node.args)
+        return f"{node.name}({args})"
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")
+
+
+def _pretty_lvalue(target: ast.LValue) -> str:
+    if target.indices is None:
+        return target.name
+    args = ", ".join(pretty_expr(arg) for arg in target.indices)
+    return f"{target.name}({args})"
+
+
+def pretty_stmt(node: ast.Stmt, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(node, ast.Assign):
+        tail = "" if node.display else ";"
+        return f"{pad}{_pretty_lvalue(node.target)} = {pretty_expr(node.value)}{tail}"
+    if isinstance(node, ast.MultiAssign):
+        targets = ", ".join(_pretty_lvalue(t) for t in node.targets)
+        tail = "" if node.display else ";"
+        return f"{pad}[{targets}] = {pretty_expr(node.call)}{tail}"
+    if isinstance(node, ast.ExprStmt):
+        tail = "" if node.display else ";"
+        return f"{pad}{pretty_expr(node.value)}{tail}"
+    if isinstance(node, ast.If):
+        lines = []
+        for index, (cond, body) in enumerate(node.branches):
+            word = "if" if index == 0 else "elseif"
+            lines.append(f"{pad}{word} {pretty_expr(cond)}")
+            lines.extend(pretty_stmt(s, depth + 1) for s in body)
+        if node.orelse:
+            lines.append(f"{pad}else")
+            lines.extend(pretty_stmt(s, depth + 1) for s in node.orelse)
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(node, ast.While):
+        lines = [f"{pad}while {pretty_expr(node.cond)}"]
+        lines.extend(pretty_stmt(s, depth + 1) for s in node.body)
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(node, ast.For):
+        lines = [f"{pad}for {node.var} = {pretty_expr(node.iterable)}"]
+        lines.extend(pretty_stmt(s, depth + 1) for s in node.body)
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(node, ast.Break):
+        return f"{pad}break;"
+    if isinstance(node, ast.Continue):
+        return f"{pad}continue;"
+    if isinstance(node, ast.Return):
+        return f"{pad}return;"
+    if isinstance(node, ast.Global):
+        return f"{pad}global {' '.join(node.names)};"
+    if isinstance(node, ast.Clear):
+        names = (" " + " ".join(node.names)) if node.names else ""
+        return f"{pad}clear{names};"
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")
+
+
+def pretty_function(fn: ast.FunctionDef) -> str:
+    header = "function "
+    if len(fn.outputs) == 1:
+        header += f"{fn.outputs[0]} = "
+    elif fn.outputs:
+        header += f"[{', '.join(fn.outputs)}] = "
+    header += fn.name
+    if fn.params:
+        header += f"({', '.join(fn.params)})"
+    lines = [header]
+    lines.extend(pretty_stmt(s, 1) for s in fn.body)
+    return "\n".join(lines)
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a whole program (script or function file)."""
+    if program.is_script:
+        return "\n".join(pretty_stmt(s) for s in program.script) + "\n"
+    return "\n\n".join(pretty_function(fn) for fn in program.functions) + "\n"

@@ -1,0 +1,27 @@
+"""Type inference (Sections 2.3–2.5).
+
+* :mod:`~repro.inference.calculator` — the *type calculator*: a database of
+  guarded transfer rules with forward and backward modes;
+* :mod:`~repro.inference.engine` — the iterative join-over-all-paths
+  monotone analysis over the CFG, producing per-expression annotations;
+* :mod:`~repro.inference.speculation` — the type speculator: backward hint
+  propagation alternating with forward passes (Section 2.5);
+* :mod:`~repro.inference.annotations` — the result container consumed by
+  both code generators.
+"""
+
+from repro.inference.annotations import Annotations
+from repro.inference.calculator import TypeCalculator, default_calculator
+from repro.inference.engine import InferenceOptions, TypeInferenceEngine, infer_function
+from repro.inference.speculation import Speculator, speculate_signature
+
+__all__ = [
+    "Annotations",
+    "TypeCalculator",
+    "default_calculator",
+    "InferenceOptions",
+    "TypeInferenceEngine",
+    "infer_function",
+    "Speculator",
+    "speculate_signature",
+]

@@ -1,0 +1,196 @@
+"""Transfer rules for array subscript expressions ``A(i)`` / ``A(i, j)``.
+
+The engine encodes a bare ``:`` subscript as the distinguished
+:data:`COLON_MARKER` type (an impossible value type), so colon selection
+rules can be expressed in the same guarded-rule style as everything else.
+
+These rules also implement the element-type extraction that powers the
+paper's biggest optimization: a scalar index into a real matrix yields a
+*real scalar* whose range is the matrix's element range, which downstream
+lets the code generator inline the access as a single load.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.inference.calculator import RuleContext, TypeCalculator
+from repro.inference.rules_arith import ablate_min, is_numeric
+from repro.typesys.intrinsic import Intrinsic
+from repro.typesys.mtype import MType
+from repro.typesys.ranges import Interval
+from repro.typesys.shape import Shape
+
+#: Marker for a bare ``:`` subscript (never a real value type).
+COLON_MARKER = MType(Intrinsic.BOTTOM, Shape.top(), Shape.top(), Interval.top())
+
+
+def is_colon(t: MType) -> bool:
+    return t.intrinsic is Intrinsic.BOTTOM and t.maxshape.is_top
+
+
+def _element_type(a: MType, ctx: RuleContext) -> MType:
+    """Type of one element extracted from ``a``."""
+    intrinsic = a.intrinsic
+    if intrinsic is Intrinsic.STRING:
+        return MType.string()
+    if not intrinsic.leq(Intrinsic.COMPLEX):
+        return MType.top()
+    rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+    return MType.scalar(intrinsic, rng)
+
+
+def _subvector_type(a: MType, idx: MType, ctx: RuleContext) -> MType:
+    """Type of ``A(v)`` for a vector subscript ``v``."""
+    intrinsic = a.intrinsic if a.intrinsic.leq(Intrinsic.COMPLEX) else Intrinsic.TOP
+    rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+    if idx.has_exact_shape and ctx.min_shape_propagation:
+        shape = idx.exact_shape
+        # Orientation follows the index for matrices; a vector source keeps
+        # its own orientation, so we widen to either orientation.
+        mn = Shape(min(shape.rows, shape.cols), min(shape.rows, shape.cols))
+        mx = Shape(max(shape.rows, shape.cols), max(shape.rows, shape.cols))
+        return MType(intrinsic, mn, mx, rng)
+    count = idx.maxshape.numel
+    mx = Shape(count, count)
+    return MType(intrinsic, Shape.bottom(), mx, rng)
+
+
+def register(calc: TypeCalculator) -> None:
+    linear = ("index", "linear")
+    two_d = ("index", "2d")
+
+    # ------------------------------------------------------------------
+    # Linear indexing A(idx)
+    # ------------------------------------------------------------------
+    calc.rule(
+        linear,
+        "A(i):scalar-element",
+        lambda ctx: ctx.arg(1).is_scalar and not is_colon(ctx.arg(1)),
+        lambda ctx: [_element_type(ctx.arg(0), ctx)],
+    )
+
+    def flatten(ctx: RuleContext) -> list[MType]:
+        a = ctx.arg(0)
+        rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+        intrinsic = a.intrinsic if a.intrinsic.leq(Intrinsic.COMPLEX) else Intrinsic.TOP
+        numel_min = a.minshape.numel or 0
+        numel_max = a.maxshape.numel
+        mn = ablate_min(Shape(numel_min, 1), Shape(numel_max, 1), ctx)
+        return [MType(intrinsic, mn, Shape(numel_max, 1), rng)]
+
+    calc.rule(
+        linear,
+        "A(:):flatten",
+        lambda ctx: is_colon(ctx.arg(1)),
+        flatten,
+    )
+    calc.rule(
+        linear,
+        "A(v):subvector",
+        lambda ctx: is_numeric(ctx.arg(1)),
+        lambda ctx: [_subvector_type(ctx.arg(0), ctx.arg(1), ctx)],
+    )
+    calc.rule(linear, "A(i):generic", lambda ctx: True, lambda ctx: [MType.top()])
+
+    # ------------------------------------------------------------------
+    # Two-subscript indexing A(i, j)
+    # ------------------------------------------------------------------
+    calc.rule(
+        two_d,
+        "A(i,j):scalar-element",
+        lambda ctx: ctx.arg(1).is_scalar
+        and ctx.arg(2).is_scalar
+        and not is_colon(ctx.arg(1))
+        and not is_colon(ctx.arg(2)),
+        lambda ctx: [_element_type(ctx.arg(0), ctx)],
+    )
+
+    def column(ctx: RuleContext) -> list[MType]:
+        a = ctx.arg(0)
+        intrinsic = a.intrinsic if a.intrinsic.leq(Intrinsic.COMPLEX) else Intrinsic.TOP
+        rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+        mx = Shape(a.maxshape.rows, 1)
+        mn = ablate_min(Shape(a.minshape.rows, 1), mx, ctx)
+        return [MType(intrinsic, mn, mx, rng)]
+
+    calc.rule(
+        two_d,
+        "A(:,j):column",
+        lambda ctx: is_colon(ctx.arg(1)) and ctx.arg(2).is_scalar,
+        column,
+    )
+
+    def row(ctx: RuleContext) -> list[MType]:
+        a = ctx.arg(0)
+        intrinsic = a.intrinsic if a.intrinsic.leq(Intrinsic.COMPLEX) else Intrinsic.TOP
+        rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+        mx = Shape(1, a.maxshape.cols)
+        mn = ablate_min(Shape(1, a.minshape.cols), mx, ctx)
+        return [MType(intrinsic, mn, mx, rng)]
+
+    calc.rule(
+        two_d,
+        "A(i,:):row",
+        lambda ctx: ctx.arg(1).is_scalar and is_colon(ctx.arg(2)),
+        row,
+    )
+
+    def whole(ctx: RuleContext) -> list[MType]:
+        return [ctx.arg(0)]
+
+    calc.rule(
+        two_d,
+        "A(:,:):whole",
+        lambda ctx: is_colon(ctx.arg(1)) and is_colon(ctx.arg(2)),
+        whole,
+    )
+
+    def submatrix(ctx: RuleContext) -> list[MType]:
+        a = ctx.arg(0)
+        i, j = ctx.arg(1), ctx.arg(2)
+        intrinsic = a.intrinsic if a.intrinsic.leq(Intrinsic.COMPLEX) else Intrinsic.TOP
+        rng = a.range if (ctx.range_propagation and a.is_real_like) else Interval.top()
+
+        def extent(idx: MType, full_min, full_max):
+            if is_colon(idx):
+                return full_min or 0, full_max
+            if idx.has_exact_shape and ctx.min_shape_propagation:
+                n = idx.exact_shape.numel
+                return n, n
+            return 0, idx.maxshape.numel
+
+        rmin, rmax = extent(i, a.minshape.rows, a.maxshape.rows)
+        cmin, cmax = extent(j, a.minshape.cols, a.maxshape.cols)
+        mx = Shape(rmax, cmax)
+        mn = ablate_min(Shape(rmin, cmin), mx, ctx)
+        return [MType(intrinsic, mn, mx, rng)]
+
+    calc.rule(
+        two_d,
+        "A(v,w):submatrix",
+        lambda ctx: True,
+        submatrix,
+    )
+
+    # ------------------------------------------------------------------
+    # end-marker arithmetic: `end` inside a subscript of A takes the
+    # dimension's bounds from A's shape window.
+    # ------------------------------------------------------------------
+    def end_type(ctx: RuleContext) -> list[MType]:
+        a = ctx.arg(0)
+        dim = ctx.nargout  # 1 = rows, 2 = cols, 0 = numel (linear)
+        if dim == 1:
+            lo, hi = a.minshape.rows, a.maxshape.rows
+        elif dim == 2:
+            lo, hi = a.minshape.cols, a.maxshape.cols
+        else:
+            lo, hi = a.minshape.numel, a.maxshape.numel
+        rng = Interval.of(
+            float(lo or 0), float(hi) if hi is not None else math.inf
+        )
+        if not ctx.range_propagation:
+            rng = Interval.top()
+        return [MType.scalar(Intrinsic.INT, rng)]
+
+    calc.rule(("index", "end"), "end:dimension-bound", lambda ctx: True, end_type)

@@ -1,0 +1,147 @@
+"""Backward (hint) rules used by the type speculator (Section 2.5).
+
+Each rule makes a statement about the *arguments* of a construct rather
+than its result, so these run with the calculator in backward mode.  The
+hints mirror the paper's list:
+
+* colon operands are almost always integer scalars;
+* relational operands (and, stronger, if/while conditions) are real
+  scalars;
+* if one bracket-operator argument is provably scalar, the others are
+  probably scalars too;
+* non-colon subscripts are likely scalar (Fortran-77-style indexing), and
+  the subscripted variable is a real array;
+* arguments of builtins with "integer scalar affinity" (zeros, ones, rand,
+  the second argument of size, ...) are likely integer scalars.
+
+A hint of ``None`` for an argument position means "no statement".
+"""
+
+from __future__ import annotations
+
+from repro.inference.calculator import RuleContext, TypeCalculator
+from repro.inference.rules_indexing import is_colon
+from repro.typesys.intrinsic import Intrinsic
+from repro.typesys.mtype import MType
+from repro.typesys.ranges import Interval
+from repro.typesys.shape import Shape
+
+INT_SCALAR_HINT = MType.scalar(Intrinsic.INT)
+REAL_SCALAR_HINT = MType.scalar(Intrinsic.REAL)
+REAL_ARRAY_HINT = MType(
+    Intrinsic.REAL, Shape.bottom(), Shape.top(), Interval.top()
+)
+
+
+def register(calc: TypeCalculator) -> None:
+    # ------------------------------------------------------------------
+    # Colon operands → integer scalars.
+    # ------------------------------------------------------------------
+    def colon_hints(ctx: RuleContext) -> list[MType]:
+        return [INT_SCALAR_HINT for _ in ctx.args]
+
+    calc.rule(
+        ("colon", ":"),
+        "spec:colon-int-scalars",
+        lambda ctx: True,
+        colon_hints,
+        direction="backward",
+    )
+
+    # ------------------------------------------------------------------
+    # Relational operands → real scalars.
+    # ------------------------------------------------------------------
+    for op in ("==", "~=", "<", "<=", ">", ">="):
+        calc.rule(
+            ("binop", op),
+            f"spec:{op}-real-scalars",
+            lambda ctx: True,
+            lambda ctx: [REAL_SCALAR_HINT, REAL_SCALAR_HINT],
+            direction="backward",
+        )
+
+    # if/while conditions: an even stronger version of the same hint.
+    for kind in ("if", "while"):
+        calc.rule(
+            ("cond", kind),
+            f"spec:{kind}-cond-scalar",
+            lambda ctx: True,
+            lambda ctx: [REAL_SCALAR_HINT],
+            direction="backward",
+        )
+
+    # ------------------------------------------------------------------
+    # Bracket operator: one proven scalar → siblings probably scalar.
+    # ------------------------------------------------------------------
+    def bracket_hints(ctx: RuleContext) -> list[MType]:
+        return [
+            MType.scalar(Intrinsic.REAL)
+            if not arg.is_scalar
+            else arg
+            for arg in ctx.args
+        ]
+
+    calc.rule(
+        ("matrix", "[]"),
+        "spec:bracket-all-scalars",
+        lambda ctx: any(arg.is_scalar for arg in ctx.args),
+        bracket_hints,
+        direction="backward",
+    )
+
+    # ------------------------------------------------------------------
+    # Subscripts: Fortran-77-style indexing → scalar indices, array base.
+    # ------------------------------------------------------------------
+    def index_hints(ctx: RuleContext) -> list[MType]:
+        hints: list[MType] = [REAL_ARRAY_HINT]
+        for idx in ctx.args[1:]:
+            hints.append(None if is_colon(idx) else INT_SCALAR_HINT)
+        return hints
+
+    def no_colon(ctx: RuleContext) -> bool:
+        # Fortran-90 syntax is indicated by the presence of the colon; its
+        # absence indicates Fortran 77, where indices are scalars.
+        return not any(is_colon(idx) for idx in ctx.args[1:])
+
+    calc.rule(
+        ("index", "linear"),
+        "spec:index-f77-scalar",
+        no_colon,
+        index_hints,
+        direction="backward",
+    )
+    calc.rule(
+        ("index", "2d"),
+        "spec:index2-f77-scalar",
+        no_colon,
+        index_hints,
+        direction="backward",
+    )
+
+    # ------------------------------------------------------------------
+    # Builtin argument affinities.
+    # ------------------------------------------------------------------
+    from repro.runtime.builtins import BUILTINS
+
+    def all_int_scalars(ctx: RuleContext) -> list[MType]:
+        return [INT_SCALAR_HINT for _ in ctx.args]
+
+    for name, entry in BUILTINS.items():
+        if not entry.int_scalar_affinity:
+            continue
+        if name == "size":
+            calc.rule(
+                ("builtin", "size"),
+                "spec:size-dim-int-scalar",
+                lambda ctx: len(ctx.args) == 2,
+                lambda ctx: [None, INT_SCALAR_HINT],
+                direction="backward",
+            )
+            continue
+        calc.rule(
+            ("builtin", name),
+            f"spec:{name}-int-scalars",
+            lambda ctx: True,
+            all_int_scalars,
+            direction="backward",
+        )

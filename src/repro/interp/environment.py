@@ -1,0 +1,40 @@
+"""The dynamic symbol table (workspace) of the interpreter."""
+
+from __future__ import annotations
+
+from repro.runtime.mxarray import MxArray
+
+
+class Environment:
+    """Name → MxArray bindings with MATLAB ``clear`` semantics."""
+
+    def __init__(self):
+        self._bindings: dict[str, MxArray] = {}
+
+    def get(self, name: str) -> MxArray | None:
+        return self._bindings.get(name)
+
+    def set(self, name: str, value: MxArray) -> None:
+        self._bindings[name] = value
+
+    def has(self, name: str) -> bool:
+        return name in self._bindings
+
+    def clear(self, names: list[str] | None = None) -> None:
+        if not names:
+            self._bindings.clear()
+            return
+        for name in names:
+            self._bindings.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._bindings)
+
+    def snapshot(self) -> dict[str, MxArray]:
+        return dict(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings

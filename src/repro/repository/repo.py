@@ -1,0 +1,370 @@
+"""The code repository proper (Sections 2 and 2.2.1).
+
+Responsibilities:
+
+* hold the table of known user functions (from snooped directories and
+  directly added sources);
+* hold, per function, the list of compiled versions differing only in
+  their type-signature assumptions (paper Figure 3);
+* the **function locator**: given an invocation, find a compiled version
+  that is *safe* (``Qi ⊑ Ti`` for every parameter) and best by the
+  Manhattan-like distance; a miss triggers JIT compilation ("since this
+  typically happens during program execution, where time is at a premium,
+  the JIT compiler is used in this situation");
+* speculative ahead-of-time compilation of everything it knows about
+  (:meth:`CodeRepository.speculate_all`), whose compile time is *hidden*
+  (performed before the user needs the code);
+* recompilation triggers when snooped sources change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.disambiguate import Disambiguator
+from repro.errors import CodegenError, RepositoryError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.codegen.inline import Inliner
+from repro.codegen.jitgen import CompiledObject, JitCompiler, JitOptions
+from repro.codegen.runtime_support import RuntimeSupport
+from repro.codegen.srcgen import SourceCompiler, SrcOptions
+from repro.inference.speculation import Speculator
+from repro.interp.interpreter import Interpreter
+from repro.runtime.display import OutputSink
+from repro.runtime.mxarray import MxArray
+from repro.repository.depgraph import DependencyGraph
+from repro.repository.snoop import DirectorySnoop
+from repro.typesys.signature import Signature
+
+
+@dataclass
+class RepositoryStats:
+    lookups: int = 0
+    hits: int = 0
+    jit_compiles: int = 0
+    speculative_compiles: int = 0
+    fallback_interpreted: int = 0
+    jit_compile_seconds: float = 0.0
+    speculative_compile_seconds: float = 0.0
+
+
+class CodeRepository:
+    """Database of compiled code plus the machinery around it."""
+
+    def __init__(
+        self,
+        jit_options: JitOptions | None = None,
+        src_options: SrcOptions | None = None,
+        sink: OutputSink | None = None,
+        inline_enabled: bool = True,
+    ):
+        self.jit_options = jit_options or JitOptions()
+        self.src_options = src_options or SrcOptions()
+        self.sink = sink if sink is not None else OutputSink()
+        self.inline_enabled = inline_enabled
+        self.snoop = DirectorySnoop()
+        self.depgraph = DependencyGraph()
+        self.stats = RepositoryStats()
+        # name -> FunctionDef (raw, as parsed)
+        self._functions: dict[str, ast.FunctionDef] = {}
+        # name -> inlined FunctionDef cache
+        self._inlined: dict[str, ast.FunctionDef] = {}
+        # name -> list of compiled versions
+        self._objects: dict[str, list[CompiledObject]] = {}
+        # functions that failed to compile (fall back to interpretation)
+        self._uncompilable: set[str] = set()
+        # (function, mode, PhaseTimes) for every compile this repository ran
+        self.compile_log: list[tuple[str, str, object]] = []
+        # Hot-call cache: last object that served each function name.
+        self._fast_cache: dict[str, CompiledObject] = {}
+        self._interpreter = Interpreter(
+            function_lookup=self.lookup_function,
+            sink=self.sink,
+            call_dispatcher=self._interp_dispatch,
+        )
+        self._rt = RuntimeSupport(call_user=self._call_user, sink=self.sink)
+
+    # ------------------------------------------------------------------
+    # Source management
+    # ------------------------------------------------------------------
+    def add_source(self, source: str | ast.Program) -> list[str]:
+        """Register function definitions from source text or a parsed
+        program; returns the names registered."""
+        program = parse(source) if isinstance(source, str) else source
+        if program.is_script:
+            raise RepositoryError("scripts cannot be added to the repository")
+        names = []
+        for fn in program.functions:
+            self._register(fn)
+            names.append(fn.name)
+        return names
+
+    def add_path(self, directory) -> list[str]:
+        """Snoop a directory of .m files; returns newly seen functions."""
+        self.snoop.add_path(directory)
+        return self.rescan()
+
+    def rescan(self) -> list[str]:
+        """Re-scan snooped directories, invalidating changed functions."""
+        report = self.snoop.scan()
+        table = self.snoop.functions()
+        touched: list[str] = []
+        for name in report.added + report.changed:
+            fn = table.get(name)
+            if fn is not None:
+                self._register(fn)
+                touched.append(name)
+        for name in report.removed:
+            if name not in table:
+                self._unregister(name)
+        return touched
+
+    def _register(self, fn: ast.FunctionDef) -> None:
+        self._functions[fn.name] = fn
+        # Invalidate the function itself and everything that inlined it.
+        for stale in self.depgraph.dependents_of(fn.name):
+            self._objects.pop(stale, None)
+            self._inlined.pop(stale, None)
+            self._uncompilable.discard(stale)
+            self._fast_cache.pop(stale, None)
+
+    def _unregister(self, name: str) -> None:
+        self._functions.pop(name, None)
+        for stale in self.depgraph.dependents_of(name):
+            self._objects.pop(stale, None)
+            self._inlined.pop(stale, None)
+        self.depgraph.drop(name)
+
+    def knows(self, name: str) -> bool:
+        return name in self._functions
+
+    def function_names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def lookup_function(self, name: str) -> ast.FunctionDef | None:
+        return self._functions.get(name)
+
+    # ------------------------------------------------------------------
+    # Inlining pass (Figure 1, pass 2)
+    # ------------------------------------------------------------------
+    def _prepared(self, name: str) -> ast.FunctionDef:
+        fn = self._functions.get(name)
+        if fn is None:
+            raise RepositoryError(f"unknown function '{name}'")
+        if not self.inline_enabled:
+            return fn
+        cached = self._inlined.get(name)
+        if cached is not None:
+            return cached
+        inliner = Inliner(self.lookup_function)
+        prepared = inliner.run(fn)
+        self._inlined[name] = prepared
+        used = (
+            inliner.inlined_names
+            | (_called_names(prepared) & set(self._functions))
+        )
+        self.depgraph.set_dependencies(name, used - {name})
+        return prepared
+
+    # ------------------------------------------------------------------
+    # The function locator (Section 2.2.1)
+    # ------------------------------------------------------------------
+    def locate(self, invocation) -> CompiledObject | None:
+        """Find the best safe compiled version for an invocation."""
+        self.stats.lookups += 1
+        versions = self._objects.get(invocation.name)
+        if not versions:
+            return None
+        inv_sig = invocation.signature
+        best: CompiledObject | None = None
+        best_distance = float("inf")
+        for version in versions:
+            if len(version.signature) < len(invocation.args):
+                continue
+            padded = self._pad_signature(inv_sig, len(version.signature))
+            if not version.signature.accepts(padded):
+                continue
+            distance = version.signature.distance(padded)
+            if distance < best_distance:
+                best, best_distance = version, distance
+        if best is not None:
+            self.stats.hits += 1
+        return best
+
+    @staticmethod
+    def _pad_signature(signature: Signature, arity: int) -> Signature:
+        from repro.typesys.mtype import MType
+
+        if len(signature) == arity:
+            return signature
+        return Signature.of(
+            list(signature.types)
+            + [MType.bottom() for _ in range(arity - len(signature))]
+        )
+
+    def store(self, obj: CompiledObject) -> None:
+        """Add (or replace) a compiled version in the database.
+
+        A new object replaces an existing one with the identical signature
+        ("the generated code can later be recompiled and replaced in the
+        repository using a better compiler").
+        """
+        versions = self._objects.setdefault(obj.name, [])
+        for index, existing in enumerate(versions):
+            if existing.signature == obj.signature:
+                versions[index] = obj
+                return
+        versions.append(obj)
+
+    def versions_of(self, name: str) -> list[CompiledObject]:
+        return list(self._objects.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def jit_compile(self, name: str, signature: Signature) -> CompiledObject:
+        """Compile one function for one signature with the JIT pipeline."""
+        fn = self._prepared(name)
+        if self._has_dynamic_calls(fn) or self._range_only_miss(name, signature):
+            # Two situations call for range widening (paper Figure 3:
+            # poly1_sig1 with limits(x) = top exists alongside the
+            # constant-specialized sig0):
+            #  * remaining dynamic calls (recursion past the inlining
+            #    depth) would recompile for every distinct constant;
+            #  * a repository miss whose only difference from an existing
+            #    version is the value ranges — the same call site is being
+            #    fed varying values, so stop specializing on them.
+            signature = Signature.of(t.widen_range() for t in signature)
+            existing = self._find_version(name, signature)
+            if existing is not None:
+                return existing
+        compiler = JitCompiler(self.jit_options)
+        start = time.perf_counter()
+        obj = compiler.compile(
+            fn, signature, mode="jit", is_user_function=self.knows
+        )
+        self.stats.jit_compiles += 1
+        self.stats.jit_compile_seconds += time.perf_counter() - start
+        self.compile_log.append((name, "jit", obj.phase_times))
+        self.store(obj)
+        return obj
+
+    def speculate(self, name: str) -> CompiledObject | None:
+        """Speculatively compile one function ahead of time."""
+        fn = self._prepared(name)
+        try:
+            disambiguation = Disambiguator(self.knows).run_function(fn)
+            speculator = Speculator(options=self.src_options.inference)
+            result = speculator.speculate(fn, disambiguation)
+            compiler = SourceCompiler(self.src_options)
+            start = time.perf_counter()
+            obj = compiler.compile(
+                fn,
+                result.signature,
+                disambiguation=disambiguation,
+                annotations=result.annotations,
+                mode="spec",
+            )
+            self.stats.speculative_compiles += 1
+            self.stats.speculative_compile_seconds += (
+                time.perf_counter() - start
+            )
+            self.compile_log.append((name, "spec", obj.phase_times))
+        except CodegenError:
+            self._uncompilable.add(name)
+            return None
+        self.store(obj)
+        return obj
+
+    def speculate_all(self) -> list[str]:
+        """Ahead-of-time pass over every known function."""
+        compiled = []
+        for name in self.function_names():
+            if self.speculate(name) is not None:
+                compiled.append(name)
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, invocation) -> list[MxArray]:
+        """Serve one invocation: locate, else JIT-compile, then run."""
+        name = invocation.name
+        cached = self._fast_cache.get(name)
+        if cached is not None and cached.fast_accepts(invocation.args):
+            return cached.invoke(invocation.args, invocation.nargout, self._rt)
+        if not self.knows(name):
+            raise RepositoryError(f"unknown function '{name}'")
+        if name in self._uncompilable:
+            return self._interpret(invocation)
+        obj = self.locate(invocation)
+        if obj is None:
+            try:
+                obj = self.jit_compile(name, invocation.signature)
+            except CodegenError:
+                self._uncompilable.add(name)
+                return self._interpret(invocation)
+        self._fast_cache[name] = obj
+        return obj.invoke(invocation.args, invocation.nargout, self._rt)
+
+    def _range_only_miss(self, name: str, signature: Signature) -> bool:
+        """True when an existing version matches this signature in every
+        component except the value ranges."""
+        for version in self._objects.get(name, ()):
+            if len(version.signature) != len(signature):
+                continue
+            if version.signature == signature:
+                continue  # identical: the recompile replaces it instead
+            if all(
+                a.intrinsic is b.intrinsic
+                and a.minshape == b.minshape
+                and a.maxshape == b.maxshape
+                for a, b in zip(signature.types, version.signature.types)
+            ):
+                return True
+        return False
+
+    def _has_dynamic_calls(self, fn: ast.FunctionDef) -> bool:
+        return bool(_called_names(fn) & set(self._functions))
+
+    def _find_version(self, name: str, signature: Signature):
+        for version in self._objects.get(name, ()):
+            if version.signature == signature:
+                return version
+        return None
+
+    def _interpret(self, invocation) -> list[MxArray]:
+        self.stats.fallback_interpreted += 1
+        fn = self._functions[invocation.name]
+        return self._interpreter.call_function(
+            fn, invocation.args, invocation.nargout
+        )
+
+    def _call_user(self, name: str, args: list[MxArray], nargout: int):
+        """Re-entry point for compiled code calling user functions."""
+        from repro.interp.frontend import Invocation
+
+        return tuple(
+            self.execute(Invocation(name=name, args=args, nargout=nargout))
+        )
+
+    def _interp_dispatch(self, name, args, nargout):
+        """The fallback interpreter also routes calls through us, so a
+        single uncompilable function doesn't drag its callees down."""
+        if not self.knows(name):
+            return None
+        from repro.interp.frontend import Invocation
+
+        return self.execute(Invocation(name=name, args=args, nargout=nargout))
+
+
+def _called_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for stmt in ast.walk_stmts(fn.body):
+        for expr in ast.stmt_exprs(stmt):
+            for node in ast.walk_expr(expr):
+                if isinstance(node, ast.Apply):
+                    names.add(node.name)
+    return names

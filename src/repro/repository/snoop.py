@@ -1,0 +1,91 @@
+"""Directory snooping.
+
+The repository "compiles code on its own, ahead of time, by snooping the
+source code directories" — watching ``.m`` files, tracking modification
+times, and reporting new/changed/removed sources so the repository can
+(re)compile them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+
+
+@dataclass
+class SnoopedFile:
+    path: Path
+    mtime: float
+    program: ast.Program
+
+
+@dataclass
+class SnoopReport:
+    """Changes observed in one scan."""
+
+    added: list[str] = field(default_factory=list)
+    changed: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def any(self) -> bool:
+        return bool(self.added or self.changed or self.removed)
+
+
+class DirectorySnoop:
+    """Watches directories of ``.m`` files."""
+
+    def __init__(self):
+        self.paths: list[Path] = []
+        self.files: dict[Path, SnoopedFile] = {}
+
+    def add_path(self, directory) -> None:
+        path = Path(directory)
+        if path not in self.paths:
+            self.paths.append(path)
+
+    # ------------------------------------------------------------------
+    def scan(self) -> SnoopReport:
+        """Rescan all watched directories; parse new/changed files."""
+        report = SnoopReport()
+        seen: set[Path] = set()
+        for directory in self.paths:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.m")):
+                seen.add(path)
+                mtime = path.stat().st_mtime
+                known = self.files.get(path)
+                if known is not None and known.mtime == mtime:
+                    continue
+                program = parse(path.read_text(), filename=os.fspath(path))
+                self.files[path] = SnoopedFile(
+                    path=path, mtime=mtime, program=program
+                )
+                target = report.changed if known is not None else report.added
+                for fn in program.functions:
+                    target.append(fn.name)
+        for path in list(self.files):
+            if path not in seen and any(
+                path.parent == directory for directory in self.paths
+            ):
+                stale = self.files.pop(path)
+                report.removed.extend(fn.name for fn in stale.program.functions)
+        return report
+
+    def functions(self) -> dict[str, ast.FunctionDef]:
+        """All currently known function definitions, by name.
+
+        Within a file, subfunctions are visible too; a primary function in
+        a file named differently keeps its declared name (MaJIC, like
+        MATLAB, trusts the declaration for repository purposes).
+        """
+        table: dict[str, ast.FunctionDef] = {}
+        for snooped in self.files.values():
+            for fn in snooped.program.functions:
+                table[fn.name] = fn
+        return table

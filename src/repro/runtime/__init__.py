@@ -1,0 +1,36 @@
+"""MATLAB value runtime: boxed arrays, generic operators, builtins.
+
+This package is the substrate under every execution engine in PyMaJIC.  The
+interpreter manipulates :class:`~repro.runtime.mxarray.MxArray` values through
+the fully generic (and therefore slow) operators in
+:mod:`repro.runtime.elementwise`; compiled code produced by the JIT and
+speculative code generators bypasses the generic layer wherever type inference
+proved it safe to do so.
+"""
+
+from repro.runtime.mxarray import MxArray, IntrinsicClass
+from repro.runtime.values import (
+    from_python,
+    to_python,
+    make_scalar,
+    make_bool,
+    make_string,
+    make_matrix,
+    empty,
+)
+from repro.runtime.builtins import BUILTINS, is_builtin, call_builtin
+
+__all__ = [
+    "MxArray",
+    "IntrinsicClass",
+    "from_python",
+    "to_python",
+    "make_scalar",
+    "make_bool",
+    "make_string",
+    "make_matrix",
+    "empty",
+    "BUILTINS",
+    "is_builtin",
+    "call_builtin",
+]

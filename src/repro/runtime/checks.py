@@ -1,0 +1,79 @@
+"""Subscript-check helpers used by generated code.
+
+MaJIC-generated code accesses array elements through one of two paths:
+
+* **checked** — the helpers in this module, which implement the subscript
+  checks MATLAB mandates on every array access (positive integral index,
+  bounds check on loads, growth on stores);
+* **unchecked** — direct buffer access emitted inline when JIT type
+  inference proved the subscript to be within bounds (Section 2.4,
+  "Subscript check removal").
+
+Keeping the checked path in one tiny module makes the cost of a check
+explicit and lets tests count exactly which accesses were compiled
+unchecked.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SubscriptError
+from repro.runtime.mxarray import MxArray
+
+
+def checked_load1(a: MxArray, k: float) -> float | complex:
+    """Checked linear load ``A(k)`` for a scalar subscript."""
+    return a.get_linear(k)
+
+
+def checked_load2(a: MxArray, i: float, j: float) -> float | complex:
+    """Checked 2-D load ``A(i, j)`` for scalar subscripts."""
+    return a.get2(i, j)
+
+
+def checked_store1(a: MxArray, k: float, value) -> None:
+    """Checked linear store ``A(k) = v`` with growth-on-overflow."""
+    a.set_linear(k, value)
+
+
+def checked_store2(a: MxArray, i: float, j: float, value) -> None:
+    """Checked 2-D store ``A(i, j) = v`` with growth-on-overflow."""
+    a.set2(i, j, value)
+
+
+def unchecked_store_grow2(a: MxArray, i: float, j: float, value) -> None:
+    """Store with the bounds *error* check removed but growth retained.
+
+    Used where range analysis proved the subscript positive and integral but
+    could not bound it by the array extent (the array may legitimately
+    grow).  Oversizing (MxArray._grow) keeps repeated growth cheap.
+    """
+    ri, ci = int(i), int(j)
+    if ri > a.rows or ci > a.cols:
+        a._grow(max(ri, a.rows), max(ci, a.cols))
+    if isinstance(value, complex):
+        a._store(ri - 1, ci - 1, value)  # may widen the buffer
+        return
+    a.data[ri - 1, ci - 1] = value
+
+
+def unchecked_store_grow1(a: MxArray, k: float, value) -> None:
+    """Linear variant of :func:`unchecked_store_grow2` (vectors only)."""
+    index = int(k)
+    if index > a.numel:
+        if a.rows > 1:
+            a._grow(index, max(a.cols, 1))
+        else:
+            a._grow(max(a.rows, 1), index)
+    index -= 1
+    if isinstance(value, complex):
+        a._store(index % a.rows, index // a.rows, value)
+        return
+    a.data[index % a.rows, index // a.rows] = value
+
+
+def require_scalar_index(value: float) -> int:
+    """Validate a subscript as a positive integer, returning it 0-based."""
+    index = int(value)
+    if index != value or index < 1:
+        raise SubscriptError("subscript indices must be positive integers")
+    return index - 1

@@ -1,0 +1,116 @@
+"""Constructors and coercions between host values and MxArray boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.runtime.mxarray import IntrinsicClass, MxArray, classify_ndarray
+
+
+def make_scalar(value: float | int | complex) -> MxArray:
+    """Box a host scalar with the most precise intrinsic class."""
+    if isinstance(value, bool):
+        return make_bool(value)
+    if isinstance(value, complex):
+        if value.imag == 0.0:
+            value = value.real
+        else:
+            return MxArray(
+                IntrinsicClass.COMPLEX,
+                np.array([[value]], dtype=np.complex128),
+            )
+    value = float(value)
+    klass = (
+        IntrinsicClass.INT
+        if np.isfinite(value) and value == int(value)
+        else IntrinsicClass.REAL
+    )
+    return MxArray(klass, np.array([[value]], dtype=np.float64))
+
+
+def make_bool(value: bool) -> MxArray:
+    return MxArray(
+        IntrinsicClass.BOOL, np.array([[1.0 if value else 0.0]])
+    )
+
+
+def make_string(text: str) -> MxArray:
+    return MxArray(IntrinsicClass.STRING, text=text)
+
+
+def make_matrix(rows: list[list[float | complex]]) -> MxArray:
+    """Box a rectangular nested list."""
+    if not rows:
+        return empty()
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise DimensionError("matrix rows have inconsistent lengths")
+    data = np.array(rows)
+    if data.dtype == np.bool_ or data.dtype.kind in "iu":
+        data = data.astype(np.float64)
+    return MxArray(classify_ndarray(data), data)
+
+
+def empty() -> MxArray:
+    """The 0x0 empty array ``[]``."""
+    return MxArray(IntrinsicClass.REAL, np.zeros((0, 0)))
+
+
+def from_ndarray(data: np.ndarray, klass: IntrinsicClass | None = None) -> MxArray:
+    """Box a numpy array, classifying it unless a class is forced."""
+    data = np.atleast_2d(np.asarray(data))
+    if data.dtype == np.bool_:
+        return MxArray(IntrinsicClass.BOOL, data.astype(np.float64))
+    if data.dtype.kind in "iu":
+        data = data.astype(np.float64)
+    if data.dtype.kind == "c" and klass is None:
+        return MxArray(IntrinsicClass.COMPLEX, data.astype(np.complex128))
+    if klass is None:
+        klass = classify_ndarray(data)
+    dtype = np.complex128 if klass is IntrinsicClass.COMPLEX else np.float64
+    return MxArray(klass, data.astype(dtype))
+
+
+def from_python(value) -> MxArray:
+    """Coerce an arbitrary host value into an MxArray.
+
+    Accepts scalars, strings, nested lists, numpy arrays and MxArrays
+    themselves (returned as-is).  This is the entry point the public
+    :class:`~repro.core.majic.MajicSession` API uses for call arguments.
+    """
+    if isinstance(value, MxArray):
+        return value
+    if isinstance(value, str):
+        return make_string(value)
+    if isinstance(value, bool):
+        return make_bool(value)
+    if isinstance(value, (int, float, complex)):
+        return make_scalar(value)
+    if isinstance(value, np.ndarray):
+        return from_ndarray(value)
+    if isinstance(value, (list, tuple)):
+        seq = list(value)
+        if not seq:
+            return empty()
+        if isinstance(seq[0], (list, tuple)):
+            return make_matrix([list(r) for r in seq])
+        return make_matrix([seq])
+    raise TypeError(f"cannot convert {type(value).__name__} to MxArray")
+
+
+def to_python(value: MxArray):
+    """Unbox an MxArray into the natural host value.
+
+    Scalars become float/complex/bool, strings become str, everything else
+    becomes a numpy array (a copy of the logical view).
+    """
+    if not isinstance(value, MxArray):
+        return value
+    if value.is_string:
+        return value.text
+    if value.is_scalar:
+        if value.klass is IntrinsicClass.BOOL:
+            return bool(value.data[0, 0])
+        return value.scalar()
+    return value.view().copy()

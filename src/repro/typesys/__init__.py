@@ -1,0 +1,33 @@
+"""MaJIC's type system (Section 2.2).
+
+A type is the Cartesian product of four lattice components:
+
+``T = Li x Ls x Ls x Ll``
+
+* :mod:`~repro.typesys.intrinsic` — the finite intrinsic lattice **Li**
+  (bottom ⊑ bool ⊑ int ⊑ real ⊑ cplx ⊑ top, and bottom ⊑ strg ⊑ top);
+* :mod:`~repro.typesys.shape` — **Ls**, pairs of natural numbers ordered
+  componentwise, used *twice* (lower and upper shape bounds);
+* :mod:`~repro.typesys.ranges` — **Ll**, real intervals ordered by
+  containment (bottom is the empty interval ⟨nan, nan⟩).
+
+:mod:`~repro.typesys.mtype` assembles the product and
+:mod:`~repro.typesys.signature` builds type signatures with the safety
+relation (Qi ⊑ Ti) and the Manhattan-like distance used by the code
+repository's function locator (Section 2.2.1).
+"""
+
+from repro.typesys.intrinsic import Intrinsic
+from repro.typesys.shape import Shape
+from repro.typesys.ranges import Interval
+from repro.typesys.mtype import MType
+from repro.typesys.signature import Signature, signature_of_values
+
+__all__ = [
+    "Intrinsic",
+    "Shape",
+    "Interval",
+    "MType",
+    "Signature",
+    "signature_of_values",
+]

@@ -1,0 +1,48 @@
+"""The vcode substrate: a RISC-like dynamic code-generation layer.
+
+The paper's JIT builds machine code in memory through ``vcode`` [11] using
+tcc's ICODE intermediate language and a re-implementation of the
+linear-scan register allocator [19].  This package is the Python analogue:
+
+* :mod:`~repro.vcode.icode` — an ICODE-style instruction set over infinite
+  virtual registers, organized into structured regions (host emission has
+  no goto, so control flow stays structured);
+* :mod:`~repro.vcode.liveness` — live-interval construction over the
+  linearized instruction stream, with loop-extent extension;
+* :mod:`~repro.vcode.regalloc` — the Poletto–Sarkar linear-scan allocator;
+* :mod:`~repro.vcode.emit` — lowering of register-allocated ICODE to a
+  host-executable Python function: physical registers become local
+  variables, spilled registers live in an explicit frame list (so spilling
+  has a real cost, which the Figure 7 "no regalloc" ablation measures);
+* :mod:`~repro.vcode.vm` — a reference evaluator used by tests to validate
+  the emitter.
+"""
+
+from repro.vcode.icode import (
+    Instr,
+    Block,
+    Seq,
+    IfRegion,
+    WhileRegion,
+    ForRegion,
+    FunctionIR,
+    VRegAllocator,
+)
+from repro.vcode.liveness import compute_intervals
+from repro.vcode.regalloc import LinearScanAllocator, Assignment
+from repro.vcode.emit import emit_python
+
+__all__ = [
+    "Instr",
+    "Block",
+    "Seq",
+    "IfRegion",
+    "WhileRegion",
+    "ForRegion",
+    "FunctionIR",
+    "VRegAllocator",
+    "compute_intervals",
+    "LinearScanAllocator",
+    "Assignment",
+    "emit_python",
+]

@@ -1,0 +1,207 @@
+"""A reference evaluator for ICODE.
+
+Interprets :class:`~repro.vcode.icode.FunctionIR` directly over a virtual
+register file, without register allocation or emission.  Tests use it to
+validate the emitter: for any IR, ``emit_python`` under any register
+assignment must compute exactly what this evaluator computes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.vcode.icode import (
+    Block,
+    BreakRegion,
+    ContinueRegion,
+    ForEachRegion,
+    ForRegion,
+    FunctionIR,
+    IfRegion,
+    Instr,
+    ReturnRegion,
+    Seq,
+    WhileRegion,
+)
+
+_BIN = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a ** b,
+    "<": lambda a, b: 1.0 if a < b else 0.0,
+    "<=": lambda a, b: 1.0 if a <= b else 0.0,
+    ">": lambda a, b: 1.0 if a > b else 0.0,
+    ">=": lambda a, b: 1.0 if a >= b else 0.0,
+    "==": lambda a, b: 1.0 if a == b else 0.0,
+    "!=": lambda a, b: 1.0 if a != b else 0.0,
+    "&": lambda a, b: 1.0 if (a != 0 and b != 0) else 0.0,
+    "|": lambda a, b: 1.0 if (a != 0 or b != 0) else 0.0,
+}
+
+_UN = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "~": lambda a: 0.0 if a != 0 else 1.0,
+    "abs": abs,
+}
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    pass
+
+
+class VcodeVM:
+    """Direct interpreter over virtual registers."""
+
+    def __init__(self, ir: FunctionIR, rt=None):
+        self.ir = ir
+        self.rt = rt
+        self.regs: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, *args):
+        self.regs = {}
+        for reg, value in zip(self.ir.params, args):
+            self.regs[reg] = value
+        for reg in self.ir.outputs:
+            self.regs.setdefault(reg, None)
+        try:
+            self._region(self.ir.body)
+        except _Return:
+            pass
+        return tuple(self.regs.get(r) for r in self.ir.outputs)
+
+    # ------------------------------------------------------------------
+    def _region(self, region) -> None:
+        if isinstance(region, Block):
+            for instr in region.instrs:
+                self._instr(instr)
+            return
+        if isinstance(region, Seq):
+            for part in region.parts:
+                self._region(part)
+            return
+        if isinstance(region, IfRegion):
+            self._region(region.header)
+            if self.regs.get(region.cond):
+                self._region(region.then)
+            else:
+                self._region(region.orelse)
+            return
+        if isinstance(region, WhileRegion):
+            while True:
+                self._region(region.header)
+                if not self.regs.get(region.cond):
+                    break
+                try:
+                    self._region(region.body)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if isinstance(region, ForRegion):
+            self._region(region.init)
+            step = (
+                self.regs[region.step] if region.step is not None else 1
+            )
+            value = self.regs[region.start]
+            stop = self.regs[region.stop]
+            while (value >= stop) if region.descending else (value <= stop):
+                self.regs[region.var] = value
+                try:
+                    self._region(region.body)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                value = self.regs[region.var] + step
+            return
+        if isinstance(region, ForEachRegion):
+            self._region(region.init)
+            iterable = self.regs[region.iterable]
+            if not region.raw_iterable:
+                iterable = self.rt.columns(iterable)
+            for item in iterable:
+                self.regs[region.var] = item
+                try:
+                    self._region(region.body)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if isinstance(region, BreakRegion):
+            raise _Break()
+        if isinstance(region, ContinueRegion):
+            raise _Continue()
+        if isinstance(region, ReturnRegion):
+            raise _Return()
+        raise CodegenError(f"vm: unknown region {type(region).__name__}")
+
+    # ------------------------------------------------------------------
+    def _instr(self, instr: Instr) -> None:
+        op = instr.op
+        regs = self.regs
+        if op == "CONST":
+            regs[instr.dst] = instr.aux
+        elif op == "MOV":
+            regs[instr.dst] = regs[instr.args[0]]
+        elif op == "BIN":
+            regs[instr.dst] = _BIN[instr.aux](
+                regs[instr.args[0]], regs[instr.args[1]]
+            )
+        elif op == "UN":
+            regs[instr.dst] = _UN[instr.aux](regs[instr.args[0]])
+        elif op == "CALLRT":
+            fn = getattr(self.rt, instr.aux)
+            result = fn(*(regs[a] for a in instr.args))
+            if instr.dst is not None:
+                regs[instr.dst] = result
+        elif op == "UNPACK":
+            regs[instr.dst] = regs[instr.args[0]][instr.aux]
+        elif op == "LOAD1":
+            arr, index = (regs[a] for a in instr.args)
+            if instr.aux == "unchecked":
+                regs[instr.dst] = arr.data.item(int(index) - 1)
+            else:
+                regs[instr.dst] = self.rt.checked_load1(arr, index)
+        elif op == "LOAD2":
+            arr, i, j = (regs[a] for a in instr.args)
+            if instr.aux == "unchecked":
+                regs[instr.dst] = arr.data.item(int(i) - 1, int(j) - 1)
+            else:
+                regs[instr.dst] = self.rt.checked_load2(arr, i, j)
+        elif op == "STORE1":
+            arr, index, value = (regs[a] for a in instr.args)
+            if instr.aux in ("unchecked", "unchecked_row", "unchecked_col"):
+                k = int(index) - 1
+                arr.data[k % arr.rows, k // arr.rows] = value
+            elif instr.aux == "grow":
+                self.rt.grow_store1(arr, index, value)
+            else:
+                self.rt.checked_store1(arr, index, value)
+        elif op == "STORE2":
+            arr, i, j, value = (regs[a] for a in instr.args)
+            if instr.aux == "unchecked":
+                arr.data[int(i) - 1, int(j) - 1] = value
+            elif instr.aux == "grow":
+                self.rt.grow_store2(arr, i, j, value)
+            else:
+                self.rt.checked_store2(arr, i, j, value)
+        elif op == "BOX":
+            regs[instr.dst] = self.rt.box(regs[instr.args[0]])
+        elif op == "UNBOX":
+            regs[instr.dst] = self.rt.unbox(regs[instr.args[0]])
+        else:
+            raise CodegenError(f"vm: unknown op {op!r}")

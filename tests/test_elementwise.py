@@ -1,0 +1,200 @@
+"""Generic operator layer tests (the mlf* functions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, RuntimeMatlabError
+from repro.runtime import elementwise as ew
+from repro.runtime.mxarray import IntrinsicClass
+from repro.runtime.values import (
+    empty,
+    from_python,
+    make_matrix,
+    make_scalar,
+    make_string,
+    to_python,
+)
+
+
+def s(x):
+    return make_scalar(x)
+
+
+def m(rows):
+    return make_matrix(rows)
+
+
+class TestArithmetic:
+    def test_scalar_plus(self):
+        assert to_python(ew.mlf_plus(s(2), s(3))) == 5
+
+    def test_scalar_broadcast(self):
+        result = ew.mlf_plus(m([[1, 2], [3, 4]]), s(10))
+        assert np.array_equal(to_python(result), [[11, 12], [13, 14]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            ew.mlf_plus(m([[1, 2]]), m([[1, 2, 3]]))
+
+    def test_mtimes_matrix(self):
+        result = ew.mlf_mtimes(m([[1, 2], [3, 4]]), m([[1], [1]]))
+        assert np.array_equal(to_python(result), [[3], [7]])
+
+    def test_mtimes_inner_mismatch(self):
+        with pytest.raises(DimensionError):
+            ew.mlf_mtimes(m([[1, 2]]), m([[1, 2]]))
+
+    def test_mtimes_scalar_is_elementwise(self):
+        result = ew.mlf_mtimes(s(2), m([[1, 2]]))
+        assert np.array_equal(to_python(result), [[2, 4]])
+
+    def test_power_negative_base_fractional_goes_complex(self):
+        result = ew.mlf_power(s(-4), s(0.5))
+        assert result.klass is IntrinsicClass.COMPLEX
+        assert abs(to_python(result) - 2j) < 1e-12
+
+    def test_power_integer_exponent_stays_real(self):
+        assert to_python(ew.mlf_power(s(-2), s(3))) == -8
+
+    def test_mldivide_solves(self):
+        a = m([[2.0, 0.0], [0.0, 4.0]])
+        b = m([[2.0], [8.0]])
+        x = to_python(ew.mlf_mldivide(a, b))
+        assert np.allclose(x, [[1.0], [2.0]])
+
+    def test_mrdivide_by_scalar(self):
+        assert np.array_equal(
+            to_python(ew.mlf_mrdivide(m([[2, 4]]), s(2))), [[1, 2]]
+        )
+
+    def test_mpower_square_matrix(self):
+        result = ew.mlf_mpower(m([[1, 1], [0, 1]]), s(2))
+        assert np.array_equal(to_python(result), [[1, 2], [0, 1]])
+
+    def test_uminus(self):
+        assert to_python(ew.mlf_uminus(s(3))) == -3
+
+    def test_string_coerces_to_char_codes(self):
+        result = ew.mlf_plus(make_string("A"), s(1))
+        assert to_python(result) == 66.0
+
+
+class TestTranspose:
+    def test_plain_transpose(self):
+        result = ew.mlf_transpose(m([[1, 2], [3, 4]]))
+        assert np.array_equal(to_python(result), [[1, 3], [2, 4]])
+
+    def test_ctranspose_conjugates(self):
+        value = from_python(np.array([[1 + 2j]]))
+        assert to_python(ew.mlf_ctranspose(value)) == 1 - 2j
+
+    def test_transpose_does_not_conjugate(self):
+        value = from_python(np.array([[1 + 2j]]))
+        assert to_python(ew.mlf_transpose(value)) == 1 + 2j
+
+
+class TestRelationalLogical:
+    def test_relational_is_bool_class(self):
+        assert ew.mlf_lt(s(1), s(2)).klass is IntrinsicClass.BOOL
+
+    def test_relational_ignores_imaginary(self):
+        # Section 2.5: relational operators disregard imaginary parts.
+        assert to_python(ew.mlf_lt(s(1 + 9j), s(2 + 0j))) is True
+
+    def test_eq_strings(self):
+        assert to_python(ew.mlf_eq(make_string("ab"), make_string("ab"))) is True
+
+    def test_logical_and(self):
+        result = ew.mlf_and(m([[1, 0]]), m([[1, 1]]))
+        assert np.array_equal(to_python(result), [[1, 0]])
+
+    def test_not(self):
+        assert to_python(ew.mlf_not(s(0))) is True
+
+
+class TestColon:
+    def test_simple_range(self):
+        assert np.array_equal(
+            to_python(ew.mlf_colon(s(1), s(4))), [[1, 2, 3, 4]]
+        )
+
+    def test_step_range(self):
+        assert np.array_equal(
+            to_python(ew.mlf_colon(s(1), s(2), s(7))), [[1, 3, 5, 7]]
+        )
+
+    def test_negative_step(self):
+        assert np.array_equal(
+            to_python(ew.mlf_colon(s(3), s(-1), s(1))), [[3, 2, 1]]
+        )
+
+    def test_empty_range(self):
+        assert ew.mlf_colon(s(5), s(1)).is_empty
+
+    def test_complex_endpoint_uses_real_part(self):
+        # Section 2.5: the colon silently ignores imaginary parts.
+        result = ew.mlf_colon(s(1 + 5j), s(3))
+        assert np.array_equal(to_python(result), [[1, 2, 3]])
+
+    def test_fractional_endpoints(self):
+        result = to_python(ew.mlf_colon(s(0), s(0.5), s(2)))
+        assert np.allclose(result, [[0, 0.5, 1.0, 1.5, 2.0]])
+
+
+class TestConcat:
+    def test_horzcat(self):
+        result = ew.mlf_horzcat([s(1), s(2), s(3)])
+        assert np.array_equal(to_python(result), [[1, 2, 3]])
+
+    def test_vertcat(self):
+        result = ew.mlf_vertcat([m([[1, 2]]), m([[3, 4]])])
+        assert np.array_equal(to_python(result), [[1, 2], [3, 4]])
+
+    def test_horzcat_row_mismatch(self):
+        with pytest.raises(DimensionError):
+            ew.mlf_horzcat([m([[1], [2]]), m([[3]])])
+
+    def test_string_concat(self):
+        assert to_python(ew.mlf_horzcat([make_string("ab"), make_string("cd")])) == "abcd"
+
+
+class TestVectorIndexing:
+    def test_index_with_vector(self):
+        v = m([[10, 20, 30, 40]])
+        result = ew.mlf_index(v, m([[2, 4]]))
+        assert np.array_equal(to_python(result), [[20, 40]])
+
+    def test_index_matrix_two_subscripts(self):
+        a = m([[1, 2, 3], [4, 5, 6]])
+        result = ew.mlf_index(a, m([[2]]), m([[1, 3]]))
+        assert np.array_equal(to_python(result), [[4, 6]])
+
+    def test_index_all_flattens_column_major(self):
+        a = m([[1, 2], [3, 4]])
+        assert np.array_equal(
+            to_python(ew.mlf_index_all(a)), [[1], [3], [2], [4]]
+        )
+
+    def test_logical_index(self):
+        v = m([[10, 20, 30]])
+        mask = ew.mlf_gt(v, s(15))
+        result = ew.mlf_index(v, mask)
+        assert sorted(to_python(result).ravel()) == [20, 30]
+
+    def test_store_vector_slice(self):
+        v = m([[0.0, 0.0, 0.0]])
+        ew.mlf_store(v, m([[7, 8]]), m([[1, 3]]))
+        assert np.array_equal(v.view(), [[7, 0, 8]])
+
+    def test_store_scalar_broadcast(self):
+        v = m([[0.0, 0.0, 0.0]])
+        ew.mlf_store(v, s(5), m([[1, 2]]))
+        assert np.array_equal(v.view(), [[5, 5, 0]])
+
+    def test_store_count_mismatch(self):
+        with pytest.raises(DimensionError):
+            ew.mlf_store(m([[0.0, 0.0]]), m([[1, 2, 3]]), m([[1, 2]]))
+
+    def test_out_of_bounds_load(self):
+        with pytest.raises(RuntimeMatlabError):
+            ew.mlf_index(m([[1, 2]]), m([[5]]))

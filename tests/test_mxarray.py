@@ -1,0 +1,212 @@
+"""MxArray runtime tests: subscripts, growth, oversizing, class tags."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, SubscriptError
+from repro.runtime.mxarray import IntrinsicClass, MxArray
+from repro.runtime.values import (
+    empty,
+    from_python,
+    make_bool,
+    make_matrix,
+    make_scalar,
+    make_string,
+    to_python,
+)
+
+
+class TestConstruction:
+    def test_scalar_int_class(self):
+        assert make_scalar(3).klass is IntrinsicClass.INT
+
+    def test_scalar_real_class(self):
+        assert make_scalar(3.5).klass is IntrinsicClass.REAL
+
+    def test_scalar_complex(self):
+        assert make_scalar(1 + 2j).klass is IntrinsicClass.COMPLEX
+
+    def test_complex_with_zero_imag_is_real(self):
+        value = make_scalar(complex(2.0, 0.0))
+        assert value.klass is IntrinsicClass.INT
+
+    def test_bool(self):
+        b = make_bool(True)
+        assert b.klass is IntrinsicClass.BOOL and b.scalar() == 1.0
+
+    def test_matrix_shape(self):
+        m = make_matrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(DimensionError):
+            make_matrix([[1, 2], [3]])
+
+    def test_empty(self):
+        e = empty()
+        assert e.is_empty and e.shape == (0, 0)
+
+    def test_string(self):
+        s = make_string("abc")
+        assert s.is_string and s.cols == 3
+
+    def test_from_python_roundtrip_scalar(self):
+        assert to_python(from_python(2.5)) == 2.5
+
+    def test_from_python_roundtrip_matrix(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(to_python(from_python(data)), data)
+
+    def test_from_python_list(self):
+        assert from_python([1, 2, 3]).shape == (1, 3)
+
+    def test_from_python_string(self):
+        assert to_python(from_python("hi")) == "hi"
+
+
+class TestScalarQueries:
+    def test_scalar_extraction(self):
+        assert make_scalar(7).scalar() == 7.0
+
+    def test_scalar_of_matrix_raises(self):
+        with pytest.raises(DimensionError):
+            make_matrix([[1, 2]]).scalar()
+
+    def test_bool_value_nonzero(self):
+        assert make_scalar(3).bool_value() is True
+        assert make_scalar(0).bool_value() is False
+
+    def test_bool_value_matrix_all(self):
+        assert make_matrix([[1, 2]]).bool_value() is True
+        assert make_matrix([[1, 0]]).bool_value() is False
+
+    def test_bool_value_empty(self):
+        assert empty().bool_value() is False
+
+
+class TestIndexing:
+    def test_linear_load_column_major(self):
+        m = make_matrix([[1, 2], [3, 4]])
+        # Column-major: A(2) is row 2 column 1.
+        assert m.get_linear(2) == 3.0
+
+    def test_get2(self):
+        m = make_matrix([[1, 2], [3, 4]])
+        assert m.get2(1, 2) == 2.0
+
+    def test_load_out_of_bounds(self):
+        with pytest.raises(SubscriptError):
+            make_matrix([[1, 2]]).get_linear(3)
+
+    def test_load_zero_index(self):
+        with pytest.raises(SubscriptError):
+            make_matrix([[1, 2]]).get_linear(0)
+
+    def test_load_fractional_index(self):
+        with pytest.raises(SubscriptError):
+            make_matrix([[1, 2]]).get_linear(1.5)
+
+    def test_store_in_bounds(self):
+        m = make_matrix([[1.0, 2.0]])
+        m.set_linear(2, 9.0)
+        assert m.get_linear(2) == 9.0
+
+
+class TestGrowth:
+    def test_vector_grows_on_store(self):
+        v = make_matrix([[1.0, 2.0]])
+        v.set_linear(5, 7.0)
+        assert v.shape == (1, 5)
+        assert v.get_linear(3) == 0.0  # zero fill
+        assert v.get_linear(5) == 7.0
+
+    def test_column_vector_grows_down(self):
+        v = make_matrix([[1.0], [2.0]])
+        v.set_linear(4, 9.0)
+        assert v.shape == (4, 1)
+
+    def test_matrix_linear_growth_rejected(self):
+        m = make_matrix([[1, 2], [3, 4]])
+        with pytest.raises(SubscriptError):
+            m.set_linear(5, 1.0)
+
+    def test_matrix_2d_growth(self):
+        m = make_matrix([[1.0]])
+        m.set2(3, 4, 5.0)
+        assert m.shape == (3, 4)
+        assert m.get2(3, 4) == 5.0
+        assert m.get2(2, 2) == 0.0
+
+    def test_growth_from_empty(self):
+        e = empty()
+        e.set_linear(3, 1.0)
+        assert e.shape == (1, 3)
+
+    def test_oversizing_capacity_exceeds_shape(self):
+        m = make_matrix([[0.0] * 4] * 4)
+        m.set2(10, 10, 1.0)
+        cap = m.capacity
+        assert cap[0] >= 10 and cap[1] >= 10
+        # The paper: "about 10% more space ... than strictly necessary".
+        assert cap[0] > 10 or cap[1] > 10
+
+    def test_oversized_size_queries_stay_accurate(self):
+        m = make_matrix([[0.0] * 4] * 4)
+        m.set2(10, 10, 1.0)
+        assert m.shape == (10, 10)  # never reports the slack
+
+    def test_growth_within_capacity_keeps_buffer(self):
+        m = make_matrix([[0.0] * 4] * 4)
+        m.set2(10, 10, 1.0)
+        buffer = m.data
+        m.set2(11, 10, 2.0)  # fits the oversized capacity
+        assert m.data is buffer
+
+    def test_grow_zero_fills_exposed_region(self):
+        m = make_matrix([[1.0, 1.0], [1.0, 1.0]])
+        m.set2(3, 3, 5.0)
+        m.set2(4, 4, 6.0)
+        assert m.get2(3, 1) == 0.0
+        assert m.get2(4, 3) == 0.0
+
+
+class TestClassWidening:
+    def test_real_store_widens_int_array(self):
+        m = make_matrix([[1, 2]])
+        assert m.klass is IntrinsicClass.INT
+        m.set_linear(1, 0.5)
+        assert m.klass is IntrinsicClass.REAL
+
+    def test_complex_store_widens_buffer(self):
+        m = make_matrix([[1.0, 2.0]])
+        m.set_linear(1, 1 + 2j)
+        assert m.klass is IntrinsicClass.COMPLEX
+        assert m.get_linear(1) == 1 + 2j
+
+    def test_complex_with_zero_imag_stored_as_real(self):
+        m = make_matrix([[1.0, 2.0]])
+        m.set_linear(1, complex(5.0, 0.0))
+        assert m.klass is not IntrinsicClass.COMPLEX
+        assert m.get_linear(1) == 5.0
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        a = make_matrix([[1.0, 2.0]])
+        b = a.copy()
+        a.set_linear(1, 9.0)
+        assert b.get_linear(1) == 1.0
+
+    def test_copy_drops_capacity_slack(self):
+        a = make_matrix([[0.0] * 4] * 4)
+        a.set2(10, 10, 1.0)
+        b = a.copy()
+        assert b.capacity == b.shape
+
+    def test_equality(self):
+        assert make_matrix([[1, 2]]) == make_matrix([[1, 2]])
+        assert make_matrix([[1, 2]]) != make_matrix([[1, 3]])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_scalar(1))

@@ -1,0 +1,123 @@
+"""Type speculator tests (Section 2.5)."""
+
+from repro.frontend.parser import parse
+from repro.inference.speculation import speculate_signature
+from repro.typesys.intrinsic import Intrinsic
+
+
+def speculate(source):
+    return speculate_signature(parse(source).primary)
+
+
+class TestHints:
+    def test_colon_operand_hint(self):
+        """Operands of the interval operator are almost always integer
+        scalars."""
+        result = speculate(
+            "function s = f(n)\ns = 0;\nfor i = 1:n, s = s + i; end\n"
+        )
+        (t,) = result.signature
+        assert t.is_scalar and t.is_integer_like
+        assert result.narrowed["n"]
+
+    def test_relational_operand_hint(self):
+        result = speculate(
+            "function y = f(tol)\ny = 0;\nwhile y < tol, y = y + 1; end\n"
+        )
+        (t,) = result.signature
+        assert t.is_scalar and t.is_real_like
+
+    def test_builtin_affinity_hint(self):
+        result = speculate("function A = f(n)\nA = zeros(n, n);\n")
+        (t,) = result.signature
+        assert t.is_scalar and t.is_integer_like
+
+    def test_indexed_parameter_is_real_array(self):
+        """Fortran-77-style indexing: subscripts scalar, base a real
+        array."""
+        result = speculate("function y = f(A)\ny = A(1, 1) + A(2, 2);\n")
+        (t,) = result.signature
+        assert t.intrinsic is Intrinsic.REAL
+        assert not t.is_scalar
+
+    def test_subscript_hint(self):
+        result = speculate("function y = f(A, k)\ny = A(k);\n")
+        k_type = result.signature[1]
+        assert k_type.is_scalar and k_type.is_integer_like
+
+    def test_colon_syntax_disables_f77_hint(self):
+        """Fortran-90 syntax (a colon present) withdraws the scalar-index
+        assumption."""
+        result = speculate("function y = f(A, k)\ny = A(:, k);\n")
+        # k is hinted through the 2-D rule only when no colon is present.
+        k_type = result.signature[1]
+        assert not (k_type.is_scalar and k_type.is_integer_like)
+
+    def test_bracket_sibling_hint(self):
+        result = speculate("function v = f(a)\nv = [a, 1];\n")
+        (t,) = result.signature
+        assert t.is_scalar
+
+
+class TestDefaults:
+    def test_unhinted_scalar_guess(self):
+        """A parameter with no hints and no array evidence defaults to a
+        real scalar (the most likely context)."""
+        result = speculate(
+            "function r = f(c)\nr = c * c * 2;\n"
+        )
+        (t,) = result.signature
+        assert t.is_scalar and t.is_real_like
+
+    def test_eig_argument_stays_unknown(self):
+        """The mei failure: the speculator cannot predict that eig's
+        arguments are real; the parameter stays at the generic default."""
+        result = speculate(
+            "function e = f(C)\ne = eig(C);\n"
+        )
+        (t,) = result.signature
+        assert t.is_top_like
+        assert not result.narrowed["C"]
+
+    def test_transpose_is_array_evidence(self):
+        result = speculate("function y = f(A, x)\ny = A' * x;\n")
+        a_type = result.signature[0]
+        assert not a_type.is_scalar
+
+    def test_norm_is_array_evidence(self):
+        result = speculate("function y = f(b)\ny = norm(b);\n")
+        (t,) = result.signature
+        assert t.is_top_like
+
+
+class TestConvergence:
+    def test_passes_bounded(self):
+        result = speculate(
+            "function A = f(n, m)\nA = zeros(n, m);\n"
+            "for i = 1:n,\n  for j = 1:m,\n    A(i, j) = i + j;\n"
+            "  end\nend\n"
+        )
+        assert result.passes <= 4
+        assert all(result.narrowed.values())
+
+    def test_signature_accepts_typical_invocation(self):
+        from repro.runtime.values import from_python
+        from repro.typesys.signature import signature_of_values
+
+        result = speculate(
+            "function s = f(n)\ns = 0;\nfor i = 1:n, s = s + i; end\n"
+        )
+        actual = signature_of_values([from_python(10)])
+        assert result.signature.accepts(actual)
+
+    def test_wrong_guess_rejected_at_runtime(self):
+        """A matrix passed where the speculator guessed scalar fails the
+        signature safety check (the repository then JIT-recompiles)."""
+        import numpy as np
+
+        from repro.runtime.values import from_python
+        from repro.typesys.signature import signature_of_values
+
+        result = speculate("function r = f(c)\nr = c * c * 2;\n")
+        actual = signature_of_values([from_python(np.ones((3, 3)))])
+        assert not result.signature.accepts(actual)
