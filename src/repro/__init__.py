@@ -29,8 +29,10 @@ Subpackages
 ``experiments`` harnesses regenerating every table and figure
 """
 
-from repro.core.majic import MajicSession
+from repro.core.majic import MajicSession, ensure_recursion_limit
 from repro.core.platformcfg import AblationFlags, MIPS, SPARC, platform_by_name
+from repro.faults import FaultPlan, InjectedFault
+from repro.repository.repo import CompileBudget
 
 __version__ = "1.0.0"
 
@@ -40,5 +42,9 @@ __all__ = [
     "SPARC",
     "MIPS",
     "platform_by_name",
+    "CompileBudget",
+    "FaultPlan",
+    "InjectedFault",
+    "ensure_recursion_limit",
     "__version__",
 ]

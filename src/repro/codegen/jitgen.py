@@ -178,9 +178,15 @@ class CompiledObject:
 class JitCompiler:
     """The fast compilation pipeline."""
 
-    def __init__(self, options: JitOptions | None = None, callee_oracle=None):
+    def __init__(
+        self,
+        options: JitOptions | None = None,
+        callee_oracle=None,
+        fault_plan=None,
+    ):
         self.options = options or JitOptions()
         self.callee_oracle = callee_oracle
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     def compile(
@@ -192,6 +198,8 @@ class JitCompiler:
         mode: str = "jit",
         is_user_function=None,
     ) -> CompiledObject:
+        if self.fault_plan is not None:
+            self.fault_plan.check("jit", fn.name)
         times = PhaseTimes()
         start = time.perf_counter()
         if disambiguation is None:

@@ -509,9 +509,39 @@ class RuntimeSupport:
     vcat = staticmethod(vcat)
     empty_matrix = staticmethod(empty_matrix)
 
-    def __init__(self, call_user=None, sink: display.OutputSink | None = None):
+    def __init__(
+        self,
+        call_user=None,
+        sink: display.OutputSink | None = None,
+        fault_plan=None,
+    ):
         self.sink = sink if sink is not None else display.OutputSink()
         self._call_user = call_user
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self._arm_faults(fault_plan)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults): instance attributes shadow the class
+    # helpers, so only sessions that carry a plan pay for the wrapping —
+    # emitted code hoists ``rt.<helper>`` per call and picks up the shim.
+    # ------------------------------------------------------------------
+    def _arm_faults(self, plan) -> None:
+        for helper in plan.runtime_helpers():
+            if helper == "*":
+                for name in _faultable_helpers():
+                    self._wrap_helper(name, plan, "rt.*")
+            elif hasattr(self, helper):
+                self._wrap_helper(helper, plan, f"rt.{helper}")
+
+    def _wrap_helper(self, name: str, plan, site: str) -> None:
+        original = getattr(self, name)
+
+        def shim(*args, _original=original, _site=site, **kwargs):
+            plan.check(_site)
+            return _original(*args, **kwargs)
+
+        setattr(self, name, shim)
 
     # ------------------------------------------------------------------
     def display_value(self, name, value) -> None:
@@ -555,3 +585,14 @@ class RuntimeSupport:
                 f"undefined function or variable '{name}'"
             )
         return self._call_user(name, [box(a) for a in args], nargout)
+
+
+def _faultable_helpers() -> list[str]:
+    """Every public helper emitted code can reach through ``rt.``."""
+    names = []
+    for name, value in vars(RuntimeSupport).items():
+        if name.startswith("_") or name == "COLON":
+            continue
+        if isinstance(value, staticmethod) or callable(value):
+            names.append(name)
+    return names

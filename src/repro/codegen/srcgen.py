@@ -82,8 +82,9 @@ class SrcOptions:
 class SourceCompiler:
     """The ahead-of-time (speculative / FALCON-style) pipeline."""
 
-    def __init__(self, options: SrcOptions | None = None):
+    def __init__(self, options: SrcOptions | None = None, fault_plan=None):
         self.options = options or SrcOptions()
+        self.fault_plan = fault_plan
 
     def compile(
         self,
@@ -95,6 +96,8 @@ class SourceCompiler:
         is_user_function=None,
         callee_oracle=None,
     ) -> CompiledObject:
+        if self.fault_plan is not None:
+            self.fault_plan.check("spec", fn.name)
         times = PhaseTimes()
         start = time.perf_counter()
         if disambiguation is None:

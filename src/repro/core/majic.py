@@ -24,15 +24,22 @@ from repro.codegen.jitgen import JitOptions
 from repro.codegen.srcgen import SrcOptions
 from repro.core.platformcfg import AblationFlags, PlatformConfig, platform_by_name
 from repro.interp.frontend import Invocation, MajicFrontEnd
-from repro.repository.repo import CodeRepository
+from repro.repository.repo import CodeRepository, CompileBudget
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.values import from_python, to_python
 
-# Recursive MATLAB benchmarks (ackermann) interpret/execute through deep
-# host recursion; lift the host limit once at import.
-if sys.getrecursionlimit() < 100_000:
-    sys.setrecursionlimit(100_000)
+
+def ensure_recursion_limit(limit: int) -> None:
+    """Raise (never lower) the host recursion limit.
+
+    Recursive MATLAB benchmarks (ackermann) interpret/execute through deep
+    host recursion.  Sessions call this with their platform's
+    ``host_recursion_limit``; pass ``recursion_limit=0`` to
+    :class:`MajicSession` to opt out of the process-wide mutation.
+    """
+    if limit and sys.getrecursionlimit() < limit:
+        sys.setrecursionlimit(limit)
 
 
 class MajicSession:
@@ -46,17 +53,29 @@ class MajicSession:
         src_options: SrcOptions | None = None,
         inline_enabled: bool = True,
         seed: int | None = 0,
+        recursion_limit: int | None = None,
+        compile_budget: CompileBudget | None = None,
+        max_strikes: int = 3,
+        fault_plan=None,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
         self.platform = platform
         self.ablation = ablation or AblationFlags()
+        # Host recursion headroom: None = the platform default; 0 opts out
+        # of touching the process-wide limit entirely.
+        if recursion_limit is None:
+            recursion_limit = platform.host_recursion_limit
+        ensure_recursion_limit(recursion_limit)
         self.sink = OutputSink()
         self.repository = CodeRepository(
             jit_options=jit_options or platform.jit_options(self.ablation),
             src_options=src_options or platform.src_options(ablation=self.ablation),
             sink=self.sink,
             inline_enabled=inline_enabled,
+            compile_budget=compile_budget,
+            max_strikes=max_strikes,
+            fault_plan=fault_plan,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
         if seed is not None:
@@ -77,9 +96,17 @@ class MajicSession:
         """Re-snoop the path, picking up changed files."""
         return self.repository.rescan()
 
-    def speculate_all(self) -> list[str]:
-        """Run the speculative ahead-of-time compiler over everything."""
-        return self.repository.speculate_all()
+    def speculate_all(self, budget: float | CompileBudget | None = None):
+        """Run the speculative ahead-of-time compiler over everything.
+
+        ``budget`` (seconds, or a
+        :class:`~repro.repository.repo.CompileBudget`) bounds the pass:
+        functions that don't fit are skipped and reported, never raised.
+        Returns the list of compiled names (a
+        :class:`~repro.repository.repo.SpeculationReport` carrying
+        ``skipped`` / ``failed`` / ``elapsed`` as well).
+        """
+        return self.repository.speculate_all(budget=budget)
 
     # ------------------------------------------------------------------
     # Execution
@@ -122,6 +149,12 @@ class MajicSession:
     @property
     def stats(self):
         return self.repository.stats
+
+    @property
+    def diagnostics(self):
+        """The robustness event log (deopts, quarantines, budget skips,
+        compile failures) — see :mod:`repro.repository.diagnostics`."""
+        return self.repository.diagnostics
 
     def invocation(self, name: str, *args, nargout: int = 1) -> Invocation:
         return Invocation(

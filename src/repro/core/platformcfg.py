@@ -62,6 +62,9 @@ class PlatformConfig:
     jit_dgemv: bool = True
     # Benchmarks excluded on this platform (paper: adapt on MIPS).
     excluded_benchmarks: tuple[str, ...] = ()
+    # Host recursion headroom sessions request (deeply recursive MATLAB
+    # code interprets through host recursion); 0 = leave the limit alone.
+    host_recursion_limit: int = 100_000
 
     # ------------------------------------------------------------------
     def jit_options(self, ablation: AblationFlags | None = None) -> JitOptions:

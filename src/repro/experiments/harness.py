@@ -21,7 +21,7 @@ from repro.baselines.falcon import FalconCompilerEngine
 from repro.baselines.mcc import MccCompilerEngine
 from repro.benchsuite.registry import benchmark, source_of
 from repro.benchsuite.workloads import boxed_workload, checksum
-from repro.core.majic import MajicSession
+from repro.core.majic import MajicSession, ensure_recursion_limit
 from repro.core.platformcfg import AblationFlags, PlatformConfig, SPARC
 from repro.core.timing import ExecutionBreakdown
 from repro.frontend.parser import parse
@@ -169,6 +169,9 @@ def run_benchmark(
     """Measure one benchmark under one engine; best-of-``repeats``."""
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    # The bare-interpreter and baseline engines run without a MajicSession,
+    # so request the recursion headroom (ackermann) explicitly here.
+    ensure_recursion_limit(platform.host_recursion_limit)
     spec = benchmark(name)
     scale = tuple(scale if scale is not None else spec.default_scale)
     args = boxed_workload(name, scale)

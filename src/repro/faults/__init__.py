@@ -1,0 +1,33 @@
+"""Fault injection and the differential robustness harness.
+
+``repro.faults`` provides the pieces that let the test suite (and CI)
+*prove* the tiered-execution safety property instead of assuming it:
+
+* :class:`~repro.faults.plan.FaultPlan` — a deterministic, seeded,
+  site/count-addressable schedule of injected failures, hooked into
+  ``JitCompiler.compile``, ``SourceCompiler.compile`` and
+  ``RuntimeSupport``;
+* :mod:`~repro.faults.harness` — runs benchsuite programs under injected
+  compile- and run-time faults and checks outputs stay bit-identical to
+  the pure interpreter.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    InjectedFault,
+    RT_ANY,
+    SITE_JIT,
+    SITE_SPEC,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedFault",
+    "RT_ANY",
+    "SITE_JIT",
+    "SITE_SPEC",
+]

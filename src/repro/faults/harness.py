@@ -1,0 +1,181 @@
+"""Differential fault-injection harness.
+
+Runs benchsuite programs under injected compile-time and runtime faults
+and asserts the outputs stay **bit-identical** to the pure interpreter
+baseline.  This is the executable statement of the paper's safety
+property: compilation is an optimization, so no injected failure of the
+compiled tier may change a program's result — the guarded repository must
+absorb it (quarantine + interpreter re-execution) and record what
+happened in ``session.diagnostics``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.faults.harness            # full sweep
+    PYTHONPATH=src python -m repro.faults.harness --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchsuite.registry import benchmark, benchmark_names, source_of
+from repro.benchsuite.workloads import boxed_workload, checksum
+from repro.core.majic import MajicSession, ensure_recursion_limit
+from repro.faults.plan import FaultPlan
+from repro.frontend.parser import parse
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+
+_SEED = 12345
+
+#: Benchmark scales small enough for a harness sweep to finish in seconds
+#: (mirrors tests/conftest.py's TINY_SCALES without importing test code).
+SMALL_SCALES = {
+    "adapt": (8, 1e-4),
+    "cgopt": (40, 1e-8, 60),
+    "crnich": (15, 15, 1.0),
+    "dirich": (10, 0.5, 4),
+    "finedif": (16, 16, 1.0),
+    "galrkn": (60,),
+    "icn": (14,),
+    "mei": (12, 6),
+    "orbec": (150, 0.0005),
+    "orbrk": (60, 0.002),
+    "qmr": (40, 1e-8, 60),
+    "sor": (30, 1.5, 1e-6, 80),
+    "ackermann": (2, 2),
+    "fractal": (200,),
+    "mandel": (10, 12),
+    "fibonacci": (10,),
+}
+
+
+@dataclass
+class DifferentialOutcome:
+    """One benchmark × fault-plan comparison against the interpreter."""
+
+    benchmark: str
+    plan: str
+    matches: bool
+    baseline: float
+    faulted: float
+    faults_fired: int
+    events: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "OK " if self.matches else "FAIL"
+        return (
+            f"{status} {self.benchmark:<10} plan={self.plan:<14} "
+            f"fired={self.faults_fired} events={self.events}"
+        )
+
+
+def _sources(name: str) -> list[str]:
+    spec = benchmark(name)
+    return [source_of(name)] + [source_of(h) for h in spec.helpers]
+
+
+def interpreter_baseline(name: str, scale: tuple | None = None) -> float:
+    """Checksum of one benchmark under the pure interpreter (ground truth)."""
+    table = {}
+    for text in _sources(name):
+        for fn in parse(text).functions:
+            table[fn.name] = fn
+    interp = Interpreter(function_lookup=table.get, sink=OutputSink())
+    ensure_recursion_limit(100_000)
+    GLOBAL_RANDOM.seed(_SEED)
+    args = boxed_workload(name, scale or SMALL_SCALES.get(name))
+    outputs = interp.call_function(table[name], args, 1)
+    return checksum(outputs[0]) if outputs else 0.0
+
+
+def run_with_faults(
+    name: str,
+    plan: FaultPlan | None,
+    scale: tuple | None = None,
+    speculate: bool = False,
+) -> tuple[float, MajicSession]:
+    """Checksum of one benchmark under a (possibly faulted) session."""
+    session = MajicSession(seed=None, fault_plan=plan)
+    for text in _sources(name):
+        session.add_source(text)
+    if speculate:
+        session.speculate_all()
+    GLOBAL_RANDOM.seed(_SEED)
+    args = boxed_workload(name, scale or SMALL_SCALES.get(name))
+    outputs = session.call_boxed(name, args, nargout=1)
+    digest = checksum(outputs[0]) if outputs else 0.0
+    return digest, session
+
+
+def default_plans() -> dict[str, FaultPlan]:
+    """The standard sweep: one compile-time and one runtime fault each,
+    against both tiers of the compiled path."""
+    return {
+        "jit-compile": FaultPlan.compile_fault(site="jit", hit=1),
+        "spec-compile": FaultPlan.compile_fault(site="spec", hit=1),
+        "runtime-hit1": FaultPlan.runtime_fault(helper="*", hit=1),
+        "runtime-hit7": FaultPlan.runtime_fault(helper="*", hit=7),
+    }
+
+
+def run_differential(
+    names: list[str] | None = None,
+    plans: dict[str, FaultPlan] | None = None,
+    scales: dict[str, tuple] | None = None,
+) -> list[DifferentialOutcome]:
+    """Compare every benchmark × fault plan against the interpreter."""
+    names = names or benchmark_names()
+    plans = plans if plans is not None else default_plans()
+    scales = scales or SMALL_SCALES
+    outcomes: list[DifferentialOutcome] = []
+    for name in names:
+        baseline = interpreter_baseline(name, scales.get(name))
+        for label, plan in plans.items():
+            plan.reset()
+            speculate = label.startswith("spec")
+            faulted, session = run_with_faults(
+                name, plan, scales.get(name), speculate=speculate
+            )
+            outcomes.append(
+                DifferentialOutcome(
+                    benchmark=name,
+                    plan=label,
+                    matches=(faulted == baseline),
+                    baseline=baseline,
+                    faulted=faulted,
+                    faults_fired=len(plan.fired),
+                    events=session.diagnostics.counts(),
+                )
+            )
+    return outcomes
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run a small CI subset instead of the full suite",
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    options = parser.parse_args(argv)
+    names = options.benchmarks
+    if names is None and options.smoke:
+        names = ["fibonacci", "dirich", "cgopt", "fractal"]
+    outcomes = run_differential(names=names)
+    failures = 0
+    for outcome in outcomes:
+        print(outcome)
+        failures += 0 if outcome.matches else 1
+    print(
+        f"{len(outcomes) - failures}/{len(outcomes)} differential runs "
+        f"bit-identical to the interpreter"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

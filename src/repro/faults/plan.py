@@ -1,0 +1,130 @@
+"""Deterministic fault injection for the execution tier.
+
+A :class:`FaultPlan` describes *where* and *when* artificial failures fire:
+each spec names a site (``"jit"``, ``"spec"``, a runtime helper such as
+``"rt.g_add"``, or the wildcard ``"rt.*"``) and either an explicit set of
+hit numbers or a seeded probability.  The same plan replayed against the
+same call sequence fires the same faults — crash reports from the
+differential harness are therefore reproducible bit-for-bit.
+
+Injected faults deliberately do **not** derive from
+:class:`~repro.errors.MatlabError`: they model host-level defects
+(miscompiles, inference bugs, ``TypeError`` inside generated source) that
+the guarded execution tier must absorb by deoptimizing to the interpreter,
+not legitimate MATLAB errors that must surface to the user.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Compile-time sites (checked at compiler entry).
+SITE_JIT = "jit"
+SITE_SPEC = "spec"
+#: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
+RT_PREFIX = "rt."
+RT_ANY = "rt.*"
+
+
+class InjectedFault(RuntimeError):
+    """An artificial host-level failure (never a MatlabError)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source.
+
+    ``hits`` selects explicit 1-based hit numbers of the site; when absent,
+    ``probability`` draws a seeded coin per hit.  ``function`` restricts
+    compile-time sites to a single function name (runtime helpers do not
+    know their caller, so the filter is ignored there).
+    """
+
+    site: str
+    hits: tuple[int, ...] | None = None
+    probability: float | None = None
+    function: str | None = None
+
+    def __post_init__(self):
+        if self.hits is None and self.probability is None:
+            object.__setattr__(self, "hits", (1,))
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """A record of one injected failure, for assertions and replay."""
+
+    site: str
+    function: str
+    hit: int
+
+
+class FaultPlan:
+    """A seeded, addressable schedule of injected failures."""
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0):
+        self.specs = list(specs or ())
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._hits: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile_fault(
+        cls, site: str = SITE_JIT, hit: int = 1,
+        function: str | None = None, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth entry into one compiler."""
+        return cls([FaultSpec(site=site, hits=(hit,), function=function)], seed=seed)
+
+    @classmethod
+    def runtime_fault(
+        cls, helper: str = "*", hit: int = 1, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth call of one runtime helper (``"*"`` = any helper)."""
+        return cls([FaultSpec(site=RT_PREFIX + helper, hits=(hit,))], seed=seed)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind hit counters and the seeded stream for exact replay."""
+        self._rng = random.Random(self.seed)
+        self._hits.clear()
+        self.fired.clear()
+
+    def runtime_helpers(self) -> list[str]:
+        """Helper names addressed by runtime specs ("*" for the wildcard)."""
+        return [
+            spec.site[len(RT_PREFIX):]
+            for spec in self.specs
+            if spec.site.startswith(RT_PREFIX)
+        ]
+
+    # ------------------------------------------------------------------
+    def check(self, site: str, function: str = "") -> None:
+        """Count one hit of ``site``; raise :class:`InjectedFault` if any
+        spec schedules a failure for this hit."""
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.function is not None and function and spec.function != function:
+                continue
+            if spec.hits is not None:
+                fire = hit in spec.hits
+            else:
+                fire = self._rng.random() < (spec.probability or 0.0)
+            if fire:
+                self.fired.append(FiredFault(site=site, function=function, hit=hit))
+                raise InjectedFault(
+                    f"injected fault at {site}"
+                    + (f" in '{function}'" if function else "")
+                    + f" (hit {hit})"
+                )
+
+    def hit_count(self, site: str) -> int:
+        return self._hits.get(site, 0)

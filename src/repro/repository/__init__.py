@@ -7,13 +7,23 @@ end's requests for compiled code through the function locator's
 type-signature matching (Section 2.2.1).
 """
 
-from repro.repository.repo import CodeRepository, RepositoryStats
+from repro.repository.repo import (
+    CodeRepository,
+    CompileBudget,
+    RepositoryStats,
+    SpeculationReport,
+)
+from repro.repository.diagnostics import DiagnosticEvent, DiagnosticsLog
 from repro.repository.snoop import DirectorySnoop
 from repro.repository.depgraph import DependencyGraph
 
 __all__ = [
     "CodeRepository",
+    "CompileBudget",
     "RepositoryStats",
+    "SpeculationReport",
+    "DiagnosticEvent",
+    "DiagnosticsLog",
     "DirectorySnoop",
     "DependencyGraph",
 ]

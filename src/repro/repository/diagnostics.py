@@ -1,0 +1,107 @@
+"""Structured robustness diagnostics for the execution tier.
+
+The paper's premise is that compiled code is an *optimization*, never a
+semantic requirement (Section 2.2.1): the interpreter is ground truth and
+every failure of the compiled tier must degrade into interpretation, not
+into a user-visible crash.  That only works in production if the
+degradations are *observable* — a session that silently interprets
+everything is indistinguishable from a healthy one until the latency graphs
+say otherwise.  :class:`DiagnosticsLog` is the flight recorder: every
+deoptimization, quarantine, budget skip and compile failure lands here as a
+structured event that tests and operators can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event kinds recorded by the repository.
+DEOPT = "deopt"                      # compiled object raised unexpectedly
+QUARANTINE = "quarantine"            # function demoted to interpreter-only
+BUDGET_SKIP = "budget_skip"          # compile skipped/flagged by a budget
+COMPILE_FAILURE = "compile_failure"  # a compiler raised (expected or not)
+
+
+@dataclass(frozen=True)
+class DiagnosticEvent:
+    """One robustness event (immutable, suitable for log shipping)."""
+
+    kind: str
+    function: str
+    detail: str = ""
+    cause: str = ""       # repr() of the triggering exception, if any
+    signature: str = ""   # signature of the implicated compiled version
+    seq: int = 0          # monotonic per-session sequence number
+
+    def __str__(self) -> str:
+        parts = [f"[{self.seq}] {self.kind} {self.function}"]
+        if self.signature:
+            parts.append(f"sig={self.signature}")
+        if self.detail:
+            parts.append(self.detail)
+        if self.cause:
+            parts.append(f"cause={self.cause}")
+        return " | ".join(parts)
+
+
+@dataclass
+class DiagnosticsLog:
+    """Bounded in-memory event log (oldest events dropped past capacity)."""
+
+    capacity: int = 10_000
+    _events: list[DiagnosticEvent] = field(default_factory=list)
+    _seq: int = 0
+    _dropped: int = 0
+
+    def record(
+        self,
+        kind: str,
+        function: str,
+        detail: str = "",
+        cause: BaseException | str | None = None,
+        signature: object = "",
+    ) -> DiagnosticEvent:
+        self._seq += 1
+        event = DiagnosticEvent(
+            kind=kind,
+            function=function,
+            detail=detail,
+            cause=repr(cause) if isinstance(cause, BaseException) else (cause or ""),
+            signature=str(signature) if signature else "",
+            seq=self._seq,
+        )
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self._dropped += overflow
+        return event
+
+    # ------------------------------------------------------------------
+    def events(self, kind: str | None = None) -> list[DiagnosticEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for event in self._events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the capacity bound (health signal by itself)."""
+        return self._dropped
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)

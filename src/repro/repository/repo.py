@@ -15,6 +15,25 @@ Responsibilities:
   (:meth:`CodeRepository.speculate_all`), whose compile time is *hidden*
   (performed before the user needs the code);
 * recompilation triggers when snooped sources change.
+
+Robustness layer (tiered execution)
+-----------------------------------
+Compiled code is an optimization, never a semantic requirement, so the
+repository treats the interpreter as its safety net:
+
+* **guarded deoptimization** — any non-:class:`~repro.errors.MatlabError`
+  exception escaping a compiled object (a miscompile, an inference bug, a
+  host ``TypeError`` in generated source) quarantines that version,
+  records a deopt event and transparently re-executes the invocation
+  through the interpreter; side effects of the half-run compiled call
+  (random-stream draws, printed output) are rolled back first;
+* **strike counter** — a function whose compiled versions keep failing is
+  demoted to interpreter-only after ``max_strikes`` quarantines;
+* **compile budgets** — :meth:`speculate_all` and :meth:`jit_compile`
+  accept wall-clock budgets that skip-and-record instead of raising, so
+  one pathological function cannot stall the "hidden" ahead-of-time pass;
+* **diagnostics** — every degradation lands in :attr:`diagnostics` as a
+  structured event.
 """
 
 from __future__ import annotations
@@ -23,7 +42,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.analysis.disambiguate import Disambiguator
-from repro.errors import CodegenError, RepositoryError
+from repro.errors import CodegenError, MatlabError, RepositoryError
 from repro.frontend import ast_nodes as ast
 from repro.frontend.parser import parse
 from repro.codegen.inline import Inliner
@@ -32,9 +51,17 @@ from repro.codegen.runtime_support import RuntimeSupport
 from repro.codegen.srcgen import SourceCompiler, SrcOptions
 from repro.inference.speculation import Speculator
 from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.mxarray import MxArray
 from repro.repository.depgraph import DependencyGraph
+from repro.repository.diagnostics import (
+    BUDGET_SKIP,
+    COMPILE_FAILURE,
+    DEOPT,
+    QUARANTINE,
+    DiagnosticsLog,
+)
 from repro.repository.snoop import DirectorySnoop
 from repro.typesys.signature import Signature
 
@@ -48,6 +75,46 @@ class RepositoryStats:
     fallback_interpreted: int = 0
     jit_compile_seconds: float = 0.0
     speculative_compile_seconds: float = 0.0
+    # Robustness counters (mirrored by the diagnostics event log).
+    deopts: int = 0
+    quarantines: int = 0
+    budget_skips: int = 0
+    compile_failures: int = 0
+
+
+@dataclass(frozen=True)
+class CompileBudget:
+    """Wall-clock compile budgets (seconds; ``None`` = unlimited).
+
+    ``per_pass`` bounds a whole :meth:`CodeRepository.speculate_all` sweep;
+    ``per_function`` bounds one compile.  Compilation cannot be preempted
+    mid-function, so both are enforced *between* compiles: a pass stops
+    before the first function that would start past its budget (± one
+    function), and a function whose compile overruns ``per_function`` is
+    flagged so future speculative passes skip it up front.
+    """
+
+    per_pass: float | None = None
+    per_function: float | None = None
+
+
+def _as_budget(budget) -> CompileBudget:
+    if budget is None:
+        return CompileBudget()
+    if isinstance(budget, CompileBudget):
+        return budget
+    return CompileBudget(per_pass=float(budget))
+
+
+class SpeculationReport(list):
+    """Names compiled by a speculative pass (list subclass for backward
+    compatibility) plus what the pass *didn't* do and why."""
+
+    def __init__(self):
+        super().__init__()
+        self.skipped: list[tuple[str, str]] = []  # (function, reason)
+        self.failed: list[str] = []
+        self.elapsed: float = 0.0
 
 
 class CodeRepository:
@@ -59,14 +126,21 @@ class CodeRepository:
         src_options: SrcOptions | None = None,
         sink: OutputSink | None = None,
         inline_enabled: bool = True,
+        compile_budget: CompileBudget | None = None,
+        max_strikes: int = 3,
+        fault_plan=None,
     ):
         self.jit_options = jit_options or JitOptions()
         self.src_options = src_options or SrcOptions()
         self.sink = sink if sink is not None else OutputSink()
         self.inline_enabled = inline_enabled
+        self.compile_budget = compile_budget or CompileBudget()
+        self.max_strikes = max_strikes
+        self.fault_plan = fault_plan
         self.snoop = DirectorySnoop()
         self.depgraph = DependencyGraph()
         self.stats = RepositoryStats()
+        self.diagnostics = DiagnosticsLog()
         # name -> FunctionDef (raw, as parsed)
         self._functions: dict[str, ast.FunctionDef] = {}
         # name -> inlined FunctionDef cache
@@ -79,12 +153,18 @@ class CodeRepository:
         self.compile_log: list[tuple[str, str, object]] = []
         # Hot-call cache: last object that served each function name.
         self._fast_cache: dict[str, CompiledObject] = {}
+        # Deopt strike counts per function (quarantine at max_strikes).
+        self._strikes: dict[str, int] = {}
+        # Functions whose compile overran the per-function budget.
+        self._budget_flagged: set[str] = set()
         self._interpreter = Interpreter(
             function_lookup=self.lookup_function,
             sink=self.sink,
             call_dispatcher=self._interp_dispatch,
         )
-        self._rt = RuntimeSupport(call_user=self._call_user, sink=self.sink)
+        self._rt = RuntimeSupport(
+            call_user=self._call_user, sink=self.sink, fault_plan=fault_plan
+        )
 
     # ------------------------------------------------------------------
     # Source management
@@ -125,17 +205,27 @@ class CodeRepository:
         self._functions[fn.name] = fn
         # Invalidate the function itself and everything that inlined it.
         for stale in self.depgraph.dependents_of(fn.name):
-            self._objects.pop(stale, None)
-            self._inlined.pop(stale, None)
-            self._uncompilable.discard(stale)
-            self._fast_cache.pop(stale, None)
+            self._purge_compiled_state(stale)
 
     def _unregister(self, name: str) -> None:
         self._functions.pop(name, None)
+        # Same purge as _register: a removed function must not keep serving
+        # a stale cached object, stay wrongly blacklisted, or carry strike
+        # and budget state over to an unrelated future function of the
+        # same name — and neither may anything that inlined it.
         for stale in self.depgraph.dependents_of(name):
-            self._objects.pop(stale, None)
-            self._inlined.pop(stale, None)
+            self._purge_compiled_state(stale)
         self.depgraph.drop(name)
+
+    def _purge_compiled_state(self, name: str) -> None:
+        """Forget every compilation artifact and verdict about ``name``
+        (its source changed or vanished; old conclusions no longer hold)."""
+        self._objects.pop(name, None)
+        self._inlined.pop(name, None)
+        self._uncompilable.discard(name)
+        self._fast_cache.pop(name, None)
+        self._strikes.pop(name, None)
+        self._budget_flagged.discard(name)
 
     def knows(self, name: str) -> bool:
         return name in self._functions
@@ -215,6 +305,10 @@ class CodeRepository:
         for index, existing in enumerate(versions):
             if existing.signature == obj.signature:
                 versions[index] = obj
+                # The hot-call cache must not keep serving the replaced
+                # object; swap it for the better recompile.
+                if self._fast_cache.get(obj.name) is existing:
+                    self._fast_cache[obj.name] = obj
                 return
         versions.append(obj)
 
@@ -224,8 +318,20 @@ class CodeRepository:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    def jit_compile(self, name: str, signature: Signature) -> CompiledObject:
-        """Compile one function for one signature with the JIT pipeline."""
+    def jit_compile(
+        self,
+        name: str,
+        signature: Signature,
+        budget: float | None = None,
+    ) -> CompiledObject:
+        """Compile one function for one signature with the JIT pipeline.
+
+        ``budget`` (default: the repository-wide per-function budget) is a
+        wall-clock target, not a hard deadline: the compile it bounds has
+        already run by the time it can be measured, so an overrun stores
+        and returns the object (this call needs it) but records the event
+        and flags the function so speculative passes skip it up front.
+        """
         fn = self._prepared(name)
         if self._has_dynamic_calls(fn) or self._range_only_miss(name, signature):
             # Two situations call for range widening (paper Figure 3:
@@ -240,15 +346,27 @@ class CodeRepository:
             existing = self._find_version(name, signature)
             if existing is not None:
                 return existing
-        compiler = JitCompiler(self.jit_options)
+        compiler = JitCompiler(self.jit_options, fault_plan=self.fault_plan)
         start = time.perf_counter()
         obj = compiler.compile(
             fn, signature, mode="jit", is_user_function=self.knows
         )
+        duration = time.perf_counter() - start
         self.stats.jit_compiles += 1
-        self.stats.jit_compile_seconds += time.perf_counter() - start
+        self.stats.jit_compile_seconds += duration
         self.compile_log.append((name, "jit", obj.phase_times))
         self.store(obj)
+        if budget is None:
+            budget = self.compile_budget.per_function
+        if budget is not None and duration > budget:
+            self._budget_flagged.add(name)
+            self.stats.budget_skips += 1
+            self.diagnostics.record(
+                BUDGET_SKIP, name,
+                detail=f"jit compile took {duration:.4f}s "
+                f"(budget {budget:.4f}s); flagged for speculative skips",
+                signature=signature,
+            )
         return obj
 
     def speculate(self, name: str) -> CompiledObject | None:
@@ -258,7 +376,9 @@ class CodeRepository:
             disambiguation = Disambiguator(self.knows).run_function(fn)
             speculator = Speculator(options=self.src_options.inference)
             result = speculator.speculate(fn, disambiguation)
-            compiler = SourceCompiler(self.src_options)
+            compiler = SourceCompiler(
+                self.src_options, fault_plan=self.fault_plan
+            )
             start = time.perf_counter()
             obj = compiler.compile(
                 fn,
@@ -272,42 +392,213 @@ class CodeRepository:
                 time.perf_counter() - start
             )
             self.compile_log.append((name, "spec", obj.phase_times))
-        except CodegenError:
+        except CodegenError as exc:
+            # Expected "cannot compile this construct": interpreter-only.
             self._uncompilable.add(name)
+            self._record_compile_failure(name, "spec", exc)
+            return None
+        except Exception as exc:  # noqa: BLE001 - the AOT pass must survive
+            # Unexpected compiler crash (inference bug, injected fault):
+            # record it, but leave the function eligible for the JIT — the
+            # concrete call-site types may well compile fine.
+            self._record_compile_failure(name, "spec", exc)
             return None
         self.store(obj)
         return obj
 
-    def speculate_all(self) -> list[str]:
-        """Ahead-of-time pass over every known function."""
-        compiled = []
-        for name in self.function_names():
-            if self.speculate(name) is not None:
-                compiled.append(name)
-        return compiled
+    def speculate_all(
+        self, budget: float | CompileBudget | None = None
+    ) -> SpeculationReport:
+        """Ahead-of-time pass over every known function.
+
+        ``budget`` (seconds, or a :class:`CompileBudget`) keeps the pass
+        "hidden": once the per-pass budget is spent the remaining
+        functions are skipped and recorded, never raised; a per-function
+        budget discards (and flags) any single compile that overran it.
+        Returns a list of the compiled names; the
+        :class:`SpeculationReport` subclass also carries ``skipped``,
+        ``failed`` and ``elapsed``.
+        """
+        budget = _as_budget(budget) if budget is not None else self.compile_budget
+        report = SpeculationReport()
+        names = self.function_names()
+        start = time.perf_counter()
+        for position, name in enumerate(names):
+            elapsed = time.perf_counter() - start
+            if budget.per_pass is not None and elapsed >= budget.per_pass:
+                for skipped in names[position:]:
+                    report.skipped.append((skipped, "pass-budget"))
+                    self.stats.budget_skips += 1
+                    self.diagnostics.record(
+                        BUDGET_SKIP, skipped,
+                        detail=f"speculative pass budget "
+                        f"({budget.per_pass:.4f}s) exhausted "
+                        f"after {elapsed:.4f}s",
+                    )
+                break
+            if name in self._budget_flagged:
+                report.skipped.append((name, "function-budget"))
+                self.stats.budget_skips += 1
+                self.diagnostics.record(
+                    BUDGET_SKIP, name,
+                    detail="previously flagged as over the per-function "
+                    "compile budget",
+                )
+                continue
+            fn_start = time.perf_counter()
+            obj = self.speculate(name)
+            fn_elapsed = time.perf_counter() - fn_start
+            if obj is None:
+                report.failed.append(name)
+                continue
+            if (
+                budget.per_function is not None
+                and fn_elapsed > budget.per_function
+            ):
+                # The compile finished but proved pathological: drop the
+                # object and flag the function so the pass stays cheap.
+                self._remove_version(name, obj)
+                self._budget_flagged.add(name)
+                report.skipped.append((name, "function-budget"))
+                self.stats.budget_skips += 1
+                self.diagnostics.record(
+                    BUDGET_SKIP, name,
+                    detail=f"speculative compile took {fn_elapsed:.4f}s "
+                    f"(budget {budget.per_function:.4f}s); discarded",
+                    signature=obj.signature,
+                )
+                continue
+            report.append(name)
+        report.elapsed = time.perf_counter() - start
+        return report
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, invocation) -> list[MxArray]:
-        """Serve one invocation: locate, else JIT-compile, then run."""
+        """Serve one invocation: locate, else JIT-compile, then run.
+
+        Every compiled execution is *guarded*: an unexpected (non-MATLAB)
+        exception deoptimizes — the failing version is quarantined and the
+        invocation transparently re-executes through the interpreter.
+        MATLAB-level errors (``error(...)``, subscript violations) are the
+        program's own behaviour and propagate unchanged.
+        """
         name = invocation.name
         cached = self._fast_cache.get(name)
         if cached is not None and cached.fast_accepts(invocation.args):
-            return cached.invoke(invocation.args, invocation.nargout, self._rt)
+            return self._guarded_invoke(invocation, cached)
         if not self.knows(name):
             raise RepositoryError(f"unknown function '{name}'")
         if name in self._uncompilable:
             return self._interpret(invocation)
         obj = self.locate(invocation)
         if obj is None:
+            if name in self._budget_flagged:
+                # Over-budget function with no usable version: stay in the
+                # interpreter rather than stall this call on a compile
+                # known to be pathological.
+                self.stats.budget_skips += 1
+                self.diagnostics.record(
+                    BUDGET_SKIP, name,
+                    detail="jit skipped: function over compile budget",
+                )
+                return self._interpret(invocation)
             try:
                 obj = self.jit_compile(name, invocation.signature)
-            except CodegenError:
+            except MatlabError as exc:
+                # Expected compile rejection (unsupported construct).
                 self._uncompilable.add(name)
+                self._record_compile_failure(
+                    name, "jit", exc, invocation.signature
+                )
+                return self._interpret(invocation)
+            except Exception as exc:  # noqa: BLE001 - compiler crash
+                # Unexpected compiler crash: interpret now, count a
+                # strike (a deterministic crasher gets quarantined, a
+                # transient fault gets retried on a later call).
+                self._record_compile_failure(
+                    name, "jit", exc, invocation.signature
+                )
+                self._note_strike(name)
                 return self._interpret(invocation)
         self._fast_cache[name] = obj
-        return obj.invoke(invocation.args, invocation.nargout, self._rt)
+        return self._guarded_invoke(invocation, obj)
+
+    # ------------------------------------------------------------------
+    # Guarded deoptimization
+    # ------------------------------------------------------------------
+    def _guarded_invoke(self, invocation, obj: CompiledObject) -> list[MxArray]:
+        """Run one compiled object with the deopt safety net armed."""
+        rng_state = GLOBAL_RANDOM.snapshot()
+        sink_mark = self.sink.mark()
+        try:
+            return obj.invoke(invocation.args, invocation.nargout, self._rt)
+        except MatlabError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - this is the safety net
+            return self._deoptimize(invocation, obj, exc, rng_state, sink_mark)
+
+    def _deoptimize(
+        self, invocation, obj: CompiledObject, exc, rng_state, sink_mark
+    ) -> list[MxArray]:
+        """Quarantine a failing compiled version and re-execute through
+        the interpreter, rolling back observable side effects of the
+        half-run compiled call first."""
+        name = invocation.name
+        self.stats.deopts += 1
+        self._evict_version(name, obj)
+        self.diagnostics.record(
+            DEOPT, name,
+            detail=f"quarantined {obj.mode} version; re-executing "
+            "through the interpreter",
+            cause=exc,
+            signature=obj.signature,
+        )
+        self._note_strike(name)
+        GLOBAL_RANDOM.restore(rng_state)
+        self.sink.truncate(sink_mark)
+        return self._interpret(invocation)
+
+    def _note_strike(self, name: str) -> None:
+        strikes = self._strikes.get(name, 0) + 1
+        self._strikes[name] = strikes
+        if strikes >= self.max_strikes and name not in self._uncompilable:
+            self._uncompilable.add(name)
+            self._objects.pop(name, None)
+            self._fast_cache.pop(name, None)
+            self.stats.quarantines += 1
+            self.diagnostics.record(
+                QUARANTINE, name,
+                detail=f"demoted to interpreter-only after {strikes} "
+                "failed compiled executions",
+            )
+
+    def _evict_version(self, name: str, obj: CompiledObject) -> None:
+        versions = self._objects.get(name)
+        if versions:
+            remaining = [v for v in versions if v is not obj]
+            if remaining:
+                self._objects[name] = remaining
+            else:
+                del self._objects[name]
+        if self._fast_cache.get(name) is obj:
+            del self._fast_cache[name]
+
+    def _remove_version(self, name: str, obj: CompiledObject) -> None:
+        """Drop one stored version (budget discard; not a failure)."""
+        self._evict_version(name, obj)
+
+    def _record_compile_failure(
+        self, name: str, mode: str, exc, signature=""
+    ) -> None:
+        self.stats.compile_failures += 1
+        self.diagnostics.record(
+            COMPILE_FAILURE, name,
+            detail=f"{mode} compile failed",
+            cause=exc,
+            signature=signature,
+        )
 
     def _range_only_miss(self, name: str, signature: Signature) -> bool:
         """True when an existing version matches this signature in every

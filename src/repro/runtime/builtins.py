@@ -46,6 +46,17 @@ class MatlabRandom:
         self._seed = int(value)
         self._rng = np.random.default_rng(self._seed)
 
+    def snapshot(self):
+        """Capture the stream state (deoptimization re-execution support:
+        a half-run compiled call must not advance the stream the
+        interpreter re-run will read)."""
+        return (self._seed, self._rng.bit_generator.state)
+
+    def restore(self, state) -> None:
+        self._seed, bitgen_state = state
+        self._rng = np.random.default_rng(self._seed)
+        self._rng.bit_generator.state = bitgen_state
+
     def uniform(self, rows: int, cols: int) -> np.ndarray:
         return self._rng.random((rows, cols))
 

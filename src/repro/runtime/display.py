@@ -28,6 +28,16 @@ class OutputSink:
     def clear(self) -> None:
         self._chunks.clear()
 
+    def mark(self) -> int:
+        """Position token for :meth:`truncate` (deopt re-execution)."""
+        return len(self._chunks)
+
+    def truncate(self, mark: int) -> None:
+        """Drop everything written after ``mark`` — a deoptimized compiled
+        call may have printed before faulting; the interpreter re-run
+        produces the authoritative transcript."""
+        del self._chunks[mark:]
+
     def __str__(self) -> str:
         return self.getvalue()
 
