@@ -24,6 +24,8 @@ from repro.codegen.jitgen import JitOptions
 from repro.codegen.srcgen import SrcOptions
 from repro.core.platformcfg import AblationFlags, PlatformConfig, platform_by_name
 from repro.interp.frontend import Invocation, MajicFrontEnd
+from repro.repository.background import SpeculationEngine
+from repro.repository.cache import DEFAULT_CACHE_DIR, RepositoryCache
 from repro.repository.repo import CodeRepository, CompileBudget
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
@@ -57,6 +59,9 @@ class MajicSession:
         compile_budget: CompileBudget | None = None,
         max_strikes: int = 3,
         fault_plan=None,
+        cache_dir=None,
+        background: bool = False,
+        workers: int | None = None,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -68,6 +73,13 @@ class MajicSession:
             recursion_limit = platform.host_recursion_limit
         ensure_recursion_limit(recursion_limit)
         self.sink = OutputSink()
+        # Disk persistence: cache_dir=True selects ~/.pymajic/cache; a
+        # path (str/Path) selects that directory; None disables it.
+        cache = None
+        if cache_dir:
+            if cache_dir is True:
+                cache_dir = DEFAULT_CACHE_DIR
+            cache = RepositoryCache(cache_dir, fault_plan=fault_plan)
         self.repository = CodeRepository(
             jit_options=jit_options or platform.jit_options(self.ablation),
             src_options=src_options or platform.src_options(ablation=self.ablation),
@@ -76,8 +88,18 @@ class MajicSession:
             compile_budget=compile_budget,
             max_strikes=max_strikes,
             fault_plan=fault_plan,
+            cache=cache,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
+        # Background speculation: a daemon worker pool (lazily started by
+        # speculate_async when background=False was given here).
+        self._workers = workers or platform.speculation_workers
+        self._fault_plan = fault_plan
+        self.engine: SpeculationEngine | None = None
+        if background:
+            self.engine = SpeculationEngine(
+                self.repository, workers=self._workers, fault_plan=fault_plan
+            )
         if seed is not None:
             GLOBAL_RANDOM.seed(seed)
 
@@ -107,6 +129,45 @@ class MajicSession:
         ``skipped`` / ``failed`` / ``elapsed`` as well).
         """
         return self.repository.speculate_all(budget=budget)
+
+    # ------------------------------------------------------------------
+    # Background speculation (the hidden-compile-time machinery)
+    # ------------------------------------------------------------------
+    def speculate_async(self) -> int:
+        """Queue every known function for *background* speculation.
+
+        Returns immediately (this is the point: compile time hides behind
+        user think-time) with the number of functions queued.  Starts the
+        worker pool on first use when the session was not constructed
+        with ``background=True``.
+        """
+        if self.engine is None:
+            self.engine = SpeculationEngine(
+                self.repository,
+                workers=self._workers,
+                fault_plan=self._fault_plan,
+            )
+        return self.engine.submit_all()
+
+    def pending_speculation(self) -> int:
+        """Background compiles still queued or in flight."""
+        return 0 if self.engine is None else self.engine.pending()
+
+    def drain_speculation(self, timeout: float | None = None) -> bool:
+        """Wait for the background queue to go quiet; False on timeout."""
+        return True if self.engine is None else self.engine.drain(timeout)
+
+    def close(self) -> None:
+        """Stop the background workers (if any); idempotent."""
+        if self.engine is not None:
+            self.engine.shutdown()
+            self.engine = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     # ------------------------------------------------------------------
     # Execution

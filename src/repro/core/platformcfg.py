@@ -65,6 +65,10 @@ class PlatformConfig:
     # Host recursion headroom sessions request (deeply recursive MATLAB
     # code interprets through host recursion); 0 = leave the limit alone.
     host_recursion_limit: int = 100_000
+    # Width of the background speculation worker pool ("the compiler runs
+    # during user think-time"); sessions use this when asked to speculate
+    # in the background without an explicit worker count.
+    speculation_workers: int = 2
 
     # ------------------------------------------------------------------
     def jit_options(self, ablation: AblationFlags | None = None) -> JitOptions:

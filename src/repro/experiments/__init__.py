@@ -5,7 +5,9 @@
 * :mod:`~repro.experiments.figure5` — speedups, MIPS platform;
 * :mod:`~repro.experiments.figure6` — composition of JIT execution time;
 * :mod:`~repro.experiments.figure7` — disabling JIT optimizations;
-* :mod:`~repro.experiments.table2` — JIT vs. speculative type inference.
+* :mod:`~repro.experiments.table2` — JIT vs. speculative type inference;
+* :mod:`~repro.experiments.responsiveness` — foreground-visible compile
+  cost: cold vs. background vs. warm disk cache.
 """
 
 from repro.experiments.harness import (

@@ -8,10 +8,17 @@ compiled tier may change a program's result — the guarded repository must
 absorb it (quarantine + interpreter re-execution) and record what
 happened in ``session.diagnostics``.
 
+The same sweep also runs with the **background speculation engine**
+enabled (``--background``): faults injected inside worker threads — a
+dying worker, a compiler crash off-thread, a poisoned cache store — must
+neither change results nor deadlock the work queue (every drain is
+bounded and asserted).
+
 Usage::
 
-    PYTHONPATH=src python -m repro.faults.harness            # full sweep
-    PYTHONPATH=src python -m repro.faults.harness --smoke    # CI subset
+    PYTHONPATH=src python -m repro.faults.harness               # full sweep
+    PYTHONPATH=src python -m repro.faults.harness --smoke       # CI subset
+    PYTHONPATH=src python -m repro.faults.harness --background  # worker sweep
 """
 
 from __future__ import annotations
@@ -95,17 +102,28 @@ def run_with_faults(
     plan: FaultPlan | None,
     scale: tuple | None = None,
     speculate: bool = False,
+    background: bool = False,
 ) -> tuple[float, MajicSession]:
-    """Checksum of one benchmark under a (possibly faulted) session."""
-    session = MajicSession(seed=None, fault_plan=plan)
+    """Checksum of one benchmark under a (possibly faulted) session.
+
+    ``background=True`` routes the speculative pass through the worker
+    pool: faults then fire *inside worker threads*, and the bounded drain
+    doubles as the no-deadlock assertion.
+    """
+    session = MajicSession(seed=None, fault_plan=plan, background=background)
     for text in _sources(name):
         session.add_source(text)
-    if speculate:
+    if background:
+        session.speculate_async()
+        drained = session.drain_speculation(timeout=120)
+        assert drained, f"background speculation deadlocked on '{name}'"
+    elif speculate:
         session.speculate_all()
     GLOBAL_RANDOM.seed(_SEED)
     args = boxed_workload(name, scale or SMALL_SCALES.get(name))
     outputs = session.call_boxed(name, args, nargout=1)
     digest = checksum(outputs[0]) if outputs else 0.0
+    session.close()
     return digest, session
 
 
@@ -120,14 +138,27 @@ def default_plans() -> dict[str, FaultPlan]:
     }
 
 
+def background_plans() -> dict[str, FaultPlan]:
+    """The worker-thread sweep: faults firing inside (or around) the
+    background speculation pool."""
+    return {
+        "worker-hit1": FaultPlan.worker_fault(hit=1),
+        "worker-hit2": FaultPlan.worker_fault(hit=2),
+        "spec-in-worker": FaultPlan.compile_fault(site="spec", hit=1),
+        "runtime-hit1": FaultPlan.runtime_fault(helper="*", hit=1),
+    }
+
+
 def run_differential(
     names: list[str] | None = None,
     plans: dict[str, FaultPlan] | None = None,
     scales: dict[str, tuple] | None = None,
+    background: bool = False,
 ) -> list[DifferentialOutcome]:
     """Compare every benchmark × fault plan against the interpreter."""
     names = names or benchmark_names()
-    plans = plans if plans is not None else default_plans()
+    if plans is None:
+        plans = background_plans() if background else default_plans()
     scales = scales or SMALL_SCALES
     outcomes: list[DifferentialOutcome] = []
     for name in names:
@@ -136,7 +167,11 @@ def run_differential(
             plan.reset()
             speculate = label.startswith("spec")
             faulted, session = run_with_faults(
-                name, plan, scales.get(name), speculate=speculate
+                name,
+                plan,
+                scales.get(name),
+                speculate=speculate,
+                background=background,
             )
             outcomes.append(
                 DifferentialOutcome(
@@ -160,12 +195,17 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="run a small CI subset instead of the full suite",
     )
+    parser.add_argument(
+        "--background", action="store_true",
+        help="route speculation through the worker pool and inject "
+             "faults inside worker threads",
+    )
     parser.add_argument("--benchmarks", nargs="*", default=None)
     options = parser.parse_args(argv)
     names = options.benchmarks
     if names is None and options.smoke:
         names = ["fibonacci", "dirich", "cgopt", "fractal"]
-    outcomes = run_differential(names=names)
+    outcomes = run_differential(names=names, background=options.background)
     failures = 0
     for outcome in outcomes:
         print(outcome)

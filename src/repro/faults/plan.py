@@ -17,11 +17,17 @@ not legitimate MATLAB errors that must surface to the user.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 #: Compile-time sites (checked at compiler entry).
 SITE_JIT = "jit"
 SITE_SPEC = "spec"
+#: Background-speculation sites: inside a worker thread, before the compile.
+SITE_WORKER = "worker"
+#: Persistent-cache sites: (de)serialization of compiled objects.
+SITE_CACHE_STORE = "cache.store"
+SITE_CACHE_LOAD = "cache.load"
 #: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
 RT_PREFIX = "rt."
 RT_ANY = "rt.*"
@@ -69,6 +75,10 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self._hits: dict[str, int] = {}
         self.fired: list[FiredFault] = []
+        # Sites are hit from speculation worker threads as well as the
+        # foreground session; counters and the seeded stream share a lock
+        # so replays stay deterministic under any single-site schedule.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -88,12 +98,30 @@ class FaultPlan:
         """Fail the Nth call of one runtime helper (``"*"`` = any helper)."""
         return cls([FaultSpec(site=RT_PREFIX + helper, hits=(hit,))], seed=seed)
 
+    @classmethod
+    def worker_fault(
+        cls, hit: int = 1, function: str | None = None, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth task a background speculation worker picks up."""
+        return cls(
+            [FaultSpec(site=SITE_WORKER, hits=(hit,), function=function)],
+            seed=seed,
+        )
+
+    @classmethod
+    def cache_fault(
+        cls, site: str = SITE_CACHE_STORE, hit: int = 1, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth cache (de)serialization."""
+        return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
+
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Rewind hit counters and the seeded stream for exact replay."""
-        self._rng = random.Random(self.seed)
-        self._hits.clear()
-        self.fired.clear()
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._hits.clear()
+            self.fired.clear()
 
     def runtime_helpers(self) -> list[str]:
         """Helper names addressed by runtime specs ("*" for the wildcard)."""
@@ -107,24 +135,31 @@ class FaultPlan:
     def check(self, site: str, function: str = "") -> None:
         """Count one hit of ``site``; raise :class:`InjectedFault` if any
         spec schedules a failure for this hit."""
-        hit = self._hits.get(site, 0) + 1
-        self._hits[site] = hit
-        for spec in self.specs:
-            if spec.site != site:
-                continue
-            if spec.function is not None and function and spec.function != function:
-                continue
-            if spec.hits is not None:
-                fire = hit in spec.hits
-            else:
-                fire = self._rng.random() < (spec.probability or 0.0)
-            if fire:
-                self.fired.append(FiredFault(site=site, function=function, hit=hit))
-                raise InjectedFault(
-                    f"injected fault at {site}"
-                    + (f" in '{function}'" if function else "")
-                    + f" (hit {hit})"
-                )
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            fire = False
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if spec.function is not None and function and spec.function != function:
+                    continue
+                if spec.hits is not None:
+                    fire = hit in spec.hits
+                else:
+                    fire = self._rng.random() < (spec.probability or 0.0)
+                if fire:
+                    self.fired.append(
+                        FiredFault(site=site, function=function, hit=hit)
+                    )
+                    break
+        if fire:
+            raise InjectedFault(
+                f"injected fault at {site}"
+                + (f" in '{function}'" if function else "")
+                + f" (hit {hit})"
+            )
 
     def hit_count(self, site: str) -> int:
-        return self._hits.get(site, 0)
+        with self._lock:
+            return self._hits.get(site, 0)

@@ -13,6 +13,8 @@ from repro.repository.repo import (
     RepositoryStats,
     SpeculationReport,
 )
+from repro.repository.background import SpeculationEngine
+from repro.repository.cache import RepositoryCache
 from repro.repository.diagnostics import DiagnosticEvent, DiagnosticsLog
 from repro.repository.snoop import DirectorySnoop
 from repro.repository.depgraph import DependencyGraph
@@ -22,6 +24,8 @@ __all__ = [
     "CompileBudget",
     "RepositoryStats",
     "SpeculationReport",
+    "SpeculationEngine",
+    "RepositoryCache",
     "DiagnosticEvent",
     "DiagnosticsLog",
     "DirectorySnoop",

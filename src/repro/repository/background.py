@@ -1,0 +1,200 @@
+"""Background speculative compilation (the paper's hidden ``t_c``).
+
+MaJIC's responsiveness story is that speculative compile time is *hidden*:
+"the compiler runs in the background, during user think-time", so the
+interactive prompt never blocks on the optimizing pipeline.  A
+:class:`SpeculationEngine` reproduces that mechanism: a daemon worker
+pool drains a thread-safe queue of (function, generation) work items,
+compiling each through :meth:`CodeRepository.speculate` while the
+foreground session keeps interpreting and JIT-compiling.
+
+Lifecycle of one work item
+--------------------------
+* :meth:`submit` enqueues a function under its *current* repository
+  generation; a name already queued or in flight at the same generation
+  is deduplicated.
+* A worker dequeues the item, re-checks the generation (a redefinition
+  while queued cancels the task) and runs the repository's speculative
+  pipeline.  The repository re-checks the generation once more before
+  storing, so a redefinition *mid-compile* discards the stale object
+  rather than letting it serve the new source's calls.
+* Any exception inside a worker — injected faults included — is absorbed
+  and recorded; the function simply stays interpreter/JIT-served.  A
+  worker can fail, the queue cannot deadlock.
+
+The foreground can :meth:`drain` (bounded wait for quiet), poll
+:meth:`pending`, or simply keep calling functions: an invocation arriving
+before its speculative version lands falls through to the JIT compiler or
+the interpreter exactly as in a synchronous session, which is why every
+interleaving converges to the same values.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.repository.diagnostics import COMPILE_FAILURE, SPECULATE_ASYNC
+
+_STOP = object()
+
+#: Default worker-pool width when neither the session nor the platform
+#: configuration names one.
+DEFAULT_WORKERS = 2
+
+
+class SpeculationEngine:
+    """A daemon worker pool running speculative compiles off-thread."""
+
+    def __init__(self, repository, workers: int = DEFAULT_WORKERS, fault_plan=None):
+        if workers < 1:
+            raise ValueError("SpeculationEngine needs at least one worker")
+        self.repository = repository
+        self.fault_plan = fault_plan
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._quiet = threading.Condition(self._lock)
+        # name -> generation queued (dedup of identical submissions)
+        self._queued: dict[str, int] = {}
+        self._in_flight = 0
+        self._shutdown = False
+        # Outcome tallies (inspected by tests and the experiment report).
+        self.compiled: list[str] = []
+        self.failed: list[str] = []
+        self.cancelled: list[str] = []
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"majic-spec-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str) -> bool:
+        """Queue one function for background speculation.
+
+        Returns False when the submission was deduplicated (already
+        queued or compiling at the same generation) or the engine is
+        shut down.
+        """
+        generation = self.repository.generation_of(name)
+        with self._lock:
+            if self._shutdown:
+                return False
+            if self._queued.get(name) == generation:
+                return False
+            self._queued[name] = generation
+        self._queue.put((name, generation))
+        return True
+
+    def submit_all(self) -> int:
+        """Queue every function the repository knows; returns how many."""
+        return sum(1 for name in self.repository.function_names() if self.submit(name))
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Work items not yet finished (queued + in flight)."""
+        with self._lock:
+            return len(self._queued) + self._in_flight
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is quiet; False on timeout.
+
+        Interactive sessions call this when they *want* the compiled code
+        now (benchmark start); otherwise they just keep executing and let
+        results land whenever they land.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._quiet:
+            while self._queued or self._in_flight:
+                if deadline is None:
+                    self._quiet.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._quiet.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers."""
+        with self._lock:
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # The worker loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        repo = self.repository
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            name, generation = item
+            with self._lock:
+                if self._queued.get(name) == generation:
+                    del self._queued[name]
+                self._in_flight += 1
+            try:
+                self._run_one(repo, name, generation)
+            finally:
+                with self._quiet:
+                    self._in_flight -= 1
+                    if not self._queued and not self._in_flight:
+                        self._quiet.notify_all()
+
+    def _run_one(self, repo, name: str, generation: int) -> None:
+        try:
+            if repo.generation_of(name) != generation:
+                self.cancelled.append(name)
+                return
+            if self.fault_plan is not None:
+                # The dedicated worker site: a fault here models a dying
+                # worker (OOM, runaway codegen) rather than a compiler bug.
+                self.fault_plan.check("worker", name)
+            obj = repo.speculate(name, generation=generation)
+        except Exception as exc:  # noqa: BLE001 - workers must not die loudly
+            self.failed.append(name)
+            with repo._lock:
+                repo.stats.compile_failures += 1
+            repo.diagnostics.record(
+                COMPILE_FAILURE, name,
+                detail="background speculation worker failed",
+                cause=exc,
+            )
+            return
+        if obj is None:
+            if repo.generation_of(name) != generation:
+                self.cancelled.append(name)
+            else:
+                self.failed.append(name)
+            return
+        self.compiled.append(name)
+        with repo._lock:
+            repo.stats.background_compiles += 1
+        repo.diagnostics.record(
+            SPECULATE_ASYNC, name,
+            detail="speculative version compiled in the background",
+            signature=obj.signature,
+        )

@@ -1,0 +1,221 @@
+"""Disk-persistent, content-addressed cache of compiled objects.
+
+The paper's repository "can be saved to disk and reloaded in later
+sessions", which is what makes speculative compile time disappear
+entirely on the second launch: the compiled code already exists, so a
+warm session compiles *zero* functions.  This module supplies that
+persistence layer for :class:`~repro.repository.repo.CodeRepository`.
+
+Content addressing
+------------------
+An entry's key is a SHA-256 over everything that could change the
+generated code:
+
+* the **compiler version** (:data:`CACHE_FORMAT_VERSION` plus the package
+  version) — a new compiler silently invalidates every old entry;
+* the **prepared source text** of the function (pretty-printed *after*
+  inlining, so an edit to an inlined callee changes the caller's key too);
+* the **type-disambiguation signature** of the compile — the invocation
+  signature for JIT compiles, the compile mode tag for speculative ones
+  (a speculative compile derives its signature itself, so the mode is the
+  only pre-compile discriminator);
+* a fingerprint of the **codegen options** (platform/ablation knobs).
+
+Keys never collide across sessions with different compilers, sources or
+options; identical sessions deterministically share entries.
+
+Serialization
+-------------
+A :class:`~repro.codegen.jitgen.CompiledObject` is pickled with its
+emitted host callable stripped (functions built by ``exec`` cannot be
+pickled); loading re-``exec``-utes the stored generated source to rebuild
+the callable.  Loads are *paranoid*: any failure — corrupt file, stale
+pickle, injected fault — is treated as a miss, recorded, and the entry
+deleted, never raised into the session.
+
+Eviction
+--------
+The repository's deopt/quarantine machinery calls :meth:`evict` whenever
+it removes a compiled version, so a cached miscompile that crashed once
+can never resurrect in a later session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+from repro.codegen.jitgen import CompiledObject
+from repro.frontend.pretty import pretty_function
+
+#: Bumped whenever the pickle layout or keying scheme changes.
+CACHE_FORMAT_VERSION = "1"
+
+#: Default cache location when a session asks for persistence without
+#: naming a directory (``MajicSession(cache_dir=True)``).
+DEFAULT_CACHE_DIR = "~/.pymajic/cache"
+
+
+def compiler_version() -> str:
+    from repro import __version__
+
+    return f"{__version__}+fmt{CACHE_FORMAT_VERSION}"
+
+
+def options_fingerprint(jit_options, src_options) -> str:
+    """A stable digest of every codegen knob that shapes emitted code."""
+    return repr((jit_options, src_options))
+
+
+def cache_key(source_text: str, signature: object, fingerprint: str) -> str:
+    """Content address of one compile.
+
+    ``signature`` is the type-disambiguation component: the invocation
+    signature for a JIT compile, or the mode tag for a speculative one.
+    """
+    digest = hashlib.sha256()
+    for part in (compiler_version(), source_text, str(signature), fingerprint):
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def function_source_text(fn) -> str:
+    """Canonical (pretty-printed) source of a prepared FunctionDef."""
+    return pretty_function(fn)
+
+
+def serialize_payload(value) -> bytes:
+    """The cache's wire format for arbitrary runtime values (MxArrays,
+    signatures, annotations): a plain pickle at the highest protocol."""
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_payload(payload: bytes):
+    return pickle.loads(payload)
+
+
+def serialize_object(obj: CompiledObject) -> bytes:
+    """Pickle a compiled object with its host callable stripped."""
+    stripped = replace(obj, emitted=replace(obj.emitted, callable=None))
+    # Drop the lazily built fast-accept table: it is rebuilt on demand.
+    stripped.__dict__.pop("_fast_table", None)
+    return serialize_payload(stripped)
+
+
+def deserialize_object(payload: bytes) -> CompiledObject:
+    """Unpickle and revive: re-exec the generated source for the callable."""
+    obj = deserialize_payload(payload)
+    namespace: dict = {}
+    code = compile(obj.emitted.source, f"<cache:{obj.name}>", "exec")
+    exec(code, namespace)
+    obj.emitted.callable = namespace[obj.emitted.name]
+    return obj
+
+
+class RepositoryCache:
+    """One directory of content-addressed compiled objects.
+
+    Thread-safe: background speculation workers store entries while the
+    foreground session loads them.  Writes are atomic (tempfile +
+    ``os.replace``) so a crashed session never leaves a torn entry.
+    """
+
+    def __init__(self, directory: str | os.PathLike, fault_plan=None):
+        self.directory = Path(os.path.expanduser(os.fspath(directory)))
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fault_plan = fault_plan
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.load_failures = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CompiledObject | None:
+        """Load one entry; any failure is a recorded miss, never a raise."""
+        path = self._path(key)
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("cache.load", key[:12])
+            payload = path.read_bytes()
+            obj = deserialize_object(payload)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - a bad entry must act as a miss
+            with self._lock:
+                self.misses += 1
+                self.load_failures += 1
+            # A corrupt/stale/faulted entry is useless; drop it so the
+            # next session does not trip over it again.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        obj.cache_key = key
+        with self._lock:
+            self.hits += 1
+        return obj
+
+    def put(self, key: str, obj: CompiledObject) -> bool:
+        """Persist one entry atomically; failures are recorded, not raised."""
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("cache.store", obj.name)
+            payload = serialize_object(obj)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            return False
+        obj.cache_key = key
+        with self._lock:
+            self.stores += 1
+        return True
+
+    def evict(self, key: str) -> bool:
+        """Remove one entry (a quarantined crasher must not resurrect)."""
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

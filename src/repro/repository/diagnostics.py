@@ -13,6 +13,7 @@ structured event that tests and operators can assert on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 #: Event kinds recorded by the repository.
@@ -20,6 +21,12 @@ DEOPT = "deopt"                      # compiled object raised unexpectedly
 QUARANTINE = "quarantine"            # function demoted to interpreter-only
 BUDGET_SKIP = "budget_skip"          # compile skipped/flagged by a budget
 COMPILE_FAILURE = "compile_failure"  # a compiler raised (expected or not)
+#: Responsiveness events (background speculation + persistent cache).
+SPECULATE_ASYNC = "speculate_async"  # a background compile landed
+CACHE_HIT = "cache_hit"              # compile served from the disk cache
+CACHE_LOAD = "cache_load"            # cache entry deserialized (or refused)
+CACHE_STORE = "cache_store"          # compiled object persisted to disk
+CACHE_EVICT = "cache_evict"          # cached entry removed (deopt/quarantine)
 
 
 @dataclass(frozen=True)
@@ -46,12 +53,17 @@ class DiagnosticEvent:
 
 @dataclass
 class DiagnosticsLog:
-    """Bounded in-memory event log (oldest events dropped past capacity)."""
+    """Bounded in-memory event log (oldest events dropped past capacity).
+
+    Recording is thread-safe: background speculation workers and the
+    foreground session share one log.
+    """
 
     capacity: int = 10_000
     _events: list[DiagnosticEvent] = field(default_factory=list)
     _seq: int = 0
     _dropped: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
         self,
@@ -61,33 +73,36 @@ class DiagnosticsLog:
         cause: BaseException | str | None = None,
         signature: object = "",
     ) -> DiagnosticEvent:
-        self._seq += 1
-        event = DiagnosticEvent(
-            kind=kind,
-            function=function,
-            detail=detail,
-            cause=repr(cause) if isinstance(cause, BaseException) else (cause or ""),
-            signature=str(signature) if signature else "",
-            seq=self._seq,
-        )
-        self._events.append(event)
-        if len(self._events) > self.capacity:
-            overflow = len(self._events) - self.capacity
-            del self._events[:overflow]
-            self._dropped += overflow
-        return event
+        with self._lock:
+            self._seq += 1
+            event = DiagnosticEvent(
+                kind=kind,
+                function=function,
+                detail=detail,
+                cause=repr(cause) if isinstance(cause, BaseException) else (cause or ""),
+                signature=str(signature) if signature else "",
+                seq=self._seq,
+            )
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                overflow = len(self._events) - self.capacity
+                del self._events[:overflow]
+                self._dropped += overflow
+            return event
 
     # ------------------------------------------------------------------
     def events(self, kind: str | None = None) -> list[DiagnosticEvent]:
-        if kind is None:
-            return list(self._events)
-        return [e for e in self._events if e.kind == kind]
+        with self._lock:
+            if kind is None:
+                return list(self._events)
+            return [e for e in self._events if e.kind == kind]
 
     def counts(self) -> dict[str, int]:
-        tally: dict[str, int] = {}
-        for event in self._events:
-            tally[event.kind] = tally.get(event.kind, 0) + 1
-        return tally
+        with self._lock:
+            tally: dict[str, int] = {}
+            for event in self._events:
+                tally[event.kind] = tally.get(event.kind, 0) + 1
+            return tally
 
     @property
     def dropped(self) -> int:
@@ -95,13 +110,14 @@ class DiagnosticsLog:
         return self._dropped
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self):
-        return iter(self._events)
+        return iter(self.events())
 
     def __bool__(self) -> bool:
         return bool(self._events)

@@ -38,6 +38,7 @@ repository treats the interpreter as its safety net:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -55,8 +56,13 @@ from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.mxarray import MxArray
 from repro.repository.depgraph import DependencyGraph
+from repro.repository.cache import cache_key, function_source_text, options_fingerprint
 from repro.repository.diagnostics import (
     BUDGET_SKIP,
+    CACHE_EVICT,
+    CACHE_HIT,
+    CACHE_LOAD,
+    CACHE_STORE,
     COMPILE_FAILURE,
     DEOPT,
     QUARANTINE,
@@ -80,6 +86,10 @@ class RepositoryStats:
     quarantines: int = 0
     budget_skips: int = 0
     compile_failures: int = 0
+    # Responsiveness counters (background speculation + persistent cache).
+    background_compiles: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
 
 
 @dataclass(frozen=True)
@@ -129,6 +139,7 @@ class CodeRepository:
         compile_budget: CompileBudget | None = None,
         max_strikes: int = 3,
         fault_plan=None,
+        cache=None,
     ):
         self.jit_options = jit_options or JitOptions()
         self.src_options = src_options or SrcOptions()
@@ -137,6 +148,9 @@ class CodeRepository:
         self.compile_budget = compile_budget or CompileBudget()
         self.max_strikes = max_strikes
         self.fault_plan = fault_plan
+        # Optional disk persistence (a RepositoryCache); compiled objects
+        # found there skip compilation entirely in warm sessions.
+        self.cache = cache
         self.snoop = DirectorySnoop()
         self.depgraph = DependencyGraph()
         self.stats = RepositoryStats()
@@ -157,6 +171,18 @@ class CodeRepository:
         self._strikes: dict[str, int] = {}
         # Functions whose compile overran the per-function budget.
         self._budget_flagged: set[str] = set()
+        # Thread safety: background speculation workers mutate the same
+        # tables the foreground session reads.  ``_lock`` (reentrant)
+        # guards every shared dict/set; compilation itself runs outside it
+        # under a per-function lock (prepared ASTs are per-name clones, so
+        # distinct names can compile in parallel, but two compiles of one
+        # name share AST nodes the disambiguator annotates in place).
+        self._lock = threading.RLock()
+        self._compile_locks: dict[str, threading.Lock] = {}
+        # Monotonic per-name redefinition counters: an in-flight background
+        # compile captures the generation at enqueue time and its result is
+        # dropped if the function was redefined (or removed) meanwhile.
+        self._generations: dict[str, int] = {}
         self._interpreter = Interpreter(
             function_lookup=self.lookup_function,
             sink=self.sink,
@@ -202,36 +228,49 @@ class CodeRepository:
         return touched
 
     def _register(self, fn: ast.FunctionDef) -> None:
-        self._functions[fn.name] = fn
-        # Invalidate the function itself and everything that inlined it.
-        for stale in self.depgraph.dependents_of(fn.name):
-            self._purge_compiled_state(stale)
+        with self._lock:
+            self._functions[fn.name] = fn
+            # Invalidate the function itself and everything that inlined
+            # it; each gets a new generation so in-flight background
+            # compiles of the old source are dropped at store time.
+            for stale in self.depgraph.dependents_of(fn.name):
+                self._purge_compiled_state(stale)
 
     def _unregister(self, name: str) -> None:
-        self._functions.pop(name, None)
-        # Same purge as _register: a removed function must not keep serving
-        # a stale cached object, stay wrongly blacklisted, or carry strike
-        # and budget state over to an unrelated future function of the
-        # same name — and neither may anything that inlined it.
-        for stale in self.depgraph.dependents_of(name):
-            self._purge_compiled_state(stale)
-        self.depgraph.drop(name)
+        with self._lock:
+            self._functions.pop(name, None)
+            # Same purge as _register: a removed function must not keep
+            # serving a stale cached object, stay wrongly blacklisted, or
+            # carry strike and budget state over to an unrelated future
+            # function of the same name — and neither may anything that
+            # inlined it.
+            for stale in self.depgraph.dependents_of(name):
+                self._purge_compiled_state(stale)
+            self.depgraph.drop(name)
 
     def _purge_compiled_state(self, name: str) -> None:
         """Forget every compilation artifact and verdict about ``name``
         (its source changed or vanished; old conclusions no longer hold)."""
-        self._objects.pop(name, None)
-        self._inlined.pop(name, None)
-        self._uncompilable.discard(name)
-        self._fast_cache.pop(name, None)
-        self._strikes.pop(name, None)
-        self._budget_flagged.discard(name)
+        with self._lock:
+            self._objects.pop(name, None)
+            self._inlined.pop(name, None)
+            self._uncompilable.discard(name)
+            self._fast_cache.pop(name, None)
+            self._strikes.pop(name, None)
+            self._budget_flagged.discard(name)
+            self._generations[name] = self._generations.get(name, 0) + 1
+
+    def generation_of(self, name: str) -> int:
+        """Redefinition counter for ``name`` (background-compile tokens)."""
+        with self._lock:
+            return self._generations.get(name, 0)
 
     def knows(self, name: str) -> bool:
         return name in self._functions
 
     def function_names(self) -> list[str]:
-        return sorted(self._functions)
+        with self._lock:
+            return sorted(self._functions)
 
     def lookup_function(self, name: str) -> ast.FunctionDef | None:
         return self._functions.get(name)
@@ -240,23 +279,40 @@ class CodeRepository:
     # Inlining pass (Figure 1, pass 2)
     # ------------------------------------------------------------------
     def _prepared(self, name: str) -> ast.FunctionDef:
-        fn = self._functions.get(name)
-        if fn is None:
-            raise RepositoryError(f"unknown function '{name}'")
-        if not self.inline_enabled:
-            return fn
-        cached = self._inlined.get(name)
-        if cached is not None:
-            return cached
+        with self._lock:
+            fn = self._functions.get(name)
+            if fn is None:
+                raise RepositoryError(f"unknown function '{name}'")
+            if not self.inline_enabled:
+                return fn
+            cached = self._inlined.get(name)
+            if cached is not None:
+                return cached
+        # Inlining (a deep copy + transform) runs outside the state lock;
+        # a concurrent redefinition simply wins the re-check below.
         inliner = Inliner(self.lookup_function)
         prepared = inliner.run(fn)
-        self._inlined[name] = prepared
-        used = (
-            inliner.inlined_names
-            | (_called_names(prepared) & set(self._functions))
-        )
-        self.depgraph.set_dependencies(name, used - {name})
+        with self._lock:
+            if self._functions.get(name) is not fn:
+                # Redefined mid-prepare: recurse onto the fresh source.
+                return self._prepared(name)
+            self._inlined[name] = prepared
+            used = (
+                inliner.inlined_names
+                | (_called_names(prepared) & set(self._functions))
+            )
+            self.depgraph.set_dependencies(name, used - {name})
         return prepared
+
+    def _compile_lock(self, name: str) -> threading.Lock:
+        """Per-name compile lock: one compile of a given function at a
+        time (its prepared AST is annotated in place by disambiguation),
+        while distinct functions compile in parallel."""
+        with self._lock:
+            lock = self._compile_locks.get(name)
+            if lock is None:
+                lock = self._compile_locks[name] = threading.Lock()
+            return lock
 
     # ------------------------------------------------------------------
     # The function locator (Section 2.2.1)
@@ -264,7 +320,8 @@ class CodeRepository:
     def locate(self, invocation) -> CompiledObject | None:
         """Find the best safe compiled version for an invocation."""
         self.stats.lookups += 1
-        versions = self._objects.get(invocation.name)
+        with self._lock:
+            versions = list(self._objects.get(invocation.name, ()))
         if not versions:
             return None
         inv_sig = invocation.signature
@@ -301,19 +358,78 @@ class CodeRepository:
         ("the generated code can later be recompiled and replaced in the
         repository using a better compiler").
         """
-        versions = self._objects.setdefault(obj.name, [])
-        for index, existing in enumerate(versions):
-            if existing.signature == obj.signature:
-                versions[index] = obj
-                # The hot-call cache must not keep serving the replaced
-                # object; swap it for the better recompile.
-                if self._fast_cache.get(obj.name) is existing:
-                    self._fast_cache[obj.name] = obj
-                return
-        versions.append(obj)
+        with self._lock:
+            versions = self._objects.setdefault(obj.name, [])
+            for index, existing in enumerate(versions):
+                if existing.signature == obj.signature:
+                    versions[index] = obj
+                    # The hot-call cache must not keep serving the replaced
+                    # object; swap it for the better recompile.
+                    if self._fast_cache.get(obj.name) is existing:
+                        self._fast_cache[obj.name] = obj
+                    return
+            versions.append(obj)
 
     def versions_of(self, name: str) -> list[CompiledObject]:
-        return list(self._objects.get(name, ()))
+        with self._lock:
+            return list(self._objects.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Persistent cache plumbing
+    # ------------------------------------------------------------------
+    def _options_fingerprint(self) -> str:
+        fingerprint = getattr(self, "_options_fp", None)
+        if fingerprint is None:
+            fingerprint = options_fingerprint(self.jit_options, self.src_options)
+            self._options_fp = fingerprint
+        return fingerprint
+
+    def _cache_key(self, fn: ast.FunctionDef, signature_tag) -> str | None:
+        """Content address of one compile (None without a cache).
+
+        ``signature_tag`` disambiguates versions of one source: the
+        invocation signature for JIT compiles, the mode tag for
+        speculative ones (whose signature is derived by the speculator).
+        """
+        if self.cache is None:
+            return None
+        return cache_key(
+            function_source_text(fn), signature_tag, self._options_fingerprint()
+        )
+
+    def _cache_probe(self, name: str, key: str | None) -> CompiledObject | None:
+        """Look one compile up in the disk cache; validate before trusting."""
+        if key is None:
+            return None
+        obj = self.cache.get(key)
+        if obj is None:
+            return None
+        if obj.name != name:
+            # Hash collision or tampering: refuse the entry.
+            self.cache.evict(key)
+            self.diagnostics.record(
+                CACHE_LOAD, name,
+                detail=f"rejected cache entry {key[:12]} naming '{obj.name}'",
+            )
+            return None
+        self.diagnostics.record(
+            CACHE_LOAD, name,
+            detail=f"loaded {obj.mode} version from cache entry {key[:12]}",
+            signature=obj.signature,
+        )
+        return obj
+
+    def _cache_store(self, key: str | None, obj: CompiledObject) -> None:
+        if key is None:
+            return
+        if self.cache.put(key, obj):
+            with self._lock:
+                self.stats.cache_stores += 1
+            self.diagnostics.record(
+                CACHE_STORE, obj.name,
+                detail=f"persisted {obj.mode} version as cache entry {key[:12]}",
+                signature=obj.signature,
+            )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -333,34 +449,50 @@ class CodeRepository:
         and flags the function so speculative passes skip it up front.
         """
         fn = self._prepared(name)
-        if self._has_dynamic_calls(fn) or self._range_only_miss(name, signature):
-            # Two situations call for range widening (paper Figure 3:
-            # poly1_sig1 with limits(x) = top exists alongside the
-            # constant-specialized sig0):
-            #  * remaining dynamic calls (recursion past the inlining
-            #    depth) would recompile for every distinct constant;
-            #  * a repository miss whose only difference from an existing
-            #    version is the value ranges — the same call site is being
-            #    fed varying values, so stop specializing on them.
-            signature = Signature.of(t.widen_range() for t in signature)
-            existing = self._find_version(name, signature)
-            if existing is not None:
-                return existing
-        compiler = JitCompiler(self.jit_options, fault_plan=self.fault_plan)
-        start = time.perf_counter()
-        obj = compiler.compile(
-            fn, signature, mode="jit", is_user_function=self.knows
-        )
-        duration = time.perf_counter() - start
-        self.stats.jit_compiles += 1
-        self.stats.jit_compile_seconds += duration
-        self.compile_log.append((name, "jit", obj.phase_times))
-        self.store(obj)
+        with self._compile_lock(name):
+            if self._has_dynamic_calls(fn) or self._range_only_miss(name, signature):
+                # Two situations call for range widening (paper Figure 3:
+                # poly1_sig1 with limits(x) = top exists alongside the
+                # constant-specialized sig0):
+                #  * remaining dynamic calls (recursion past the inlining
+                #    depth) would recompile for every distinct constant;
+                #  * a repository miss whose only difference from an existing
+                #    version is the value ranges — the same call site is being
+                #    fed varying values, so stop specializing on them.
+                signature = Signature.of(t.widen_range() for t in signature)
+                existing = self._find_version(name, signature)
+                if existing is not None:
+                    return existing
+            key = self._cache_key(fn, signature)
+            cached = self._cache_probe(name, key)
+            if cached is not None:
+                with self._lock:
+                    self.stats.cache_hits += 1
+                self.diagnostics.record(
+                    CACHE_HIT, name,
+                    detail="jit compile served from the persistent cache",
+                    signature=cached.signature,
+                )
+                self.store(cached)
+                return cached
+            compiler = JitCompiler(self.jit_options, fault_plan=self.fault_plan)
+            start = time.perf_counter()
+            obj = compiler.compile(
+                fn, signature, mode="jit", is_user_function=self.knows
+            )
+            duration = time.perf_counter() - start
+            with self._lock:
+                self.stats.jit_compiles += 1
+                self.stats.jit_compile_seconds += duration
+                self.compile_log.append((name, "jit", obj.phase_times))
+            self.store(obj)
+            self._cache_store(key, obj)
         if budget is None:
             budget = self.compile_budget.per_function
         if budget is not None and duration > budget:
-            self._budget_flagged.add(name)
-            self.stats.budget_skips += 1
+            with self._lock:
+                self._budget_flagged.add(name)
+                self.stats.budget_skips += 1
             self.diagnostics.record(
                 BUDGET_SKIP, name,
                 detail=f"jit compile took {duration:.4f}s "
@@ -369,41 +501,78 @@ class CodeRepository:
             )
         return obj
 
-    def speculate(self, name: str) -> CompiledObject | None:
-        """Speculatively compile one function ahead of time."""
+    def speculate(
+        self, name: str, generation: int | None = None
+    ) -> CompiledObject | None:
+        """Speculatively compile one function ahead of time.
+
+        ``generation`` is the invalidation token background workers pass:
+        when it no longer matches the function's current generation (the
+        source was redefined or removed mid-flight), the result is
+        discarded instead of stored.
+        """
+        if generation is not None and self.generation_of(name) != generation:
+            return None
         fn = self._prepared(name)
-        try:
-            disambiguation = Disambiguator(self.knows).run_function(fn)
-            speculator = Speculator(options=self.src_options.inference)
-            result = speculator.speculate(fn, disambiguation)
-            compiler = SourceCompiler(
-                self.src_options, fault_plan=self.fault_plan
-            )
-            start = time.perf_counter()
-            obj = compiler.compile(
-                fn,
-                result.signature,
-                disambiguation=disambiguation,
-                annotations=result.annotations,
-                mode="spec",
-            )
-            self.stats.speculative_compiles += 1
-            self.stats.speculative_compile_seconds += (
-                time.perf_counter() - start
-            )
-            self.compile_log.append((name, "spec", obj.phase_times))
-        except CodegenError as exc:
-            # Expected "cannot compile this construct": interpreter-only.
-            self._uncompilable.add(name)
-            self._record_compile_failure(name, "spec", exc)
-            return None
-        except Exception as exc:  # noqa: BLE001 - the AOT pass must survive
-            # Unexpected compiler crash (inference bug, injected fault):
-            # record it, but leave the function eligible for the JIT — the
-            # concrete call-site types may well compile fine.
-            self._record_compile_failure(name, "spec", exc)
-            return None
-        self.store(obj)
+        key = self._cache_key(fn, "spec")
+        with self._compile_lock(name):
+            cached = self._cache_probe(name, key)
+            if cached is not None:
+                with self._lock:
+                    if (
+                        generation is not None
+                        and self._generations.get(name, 0) != generation
+                    ):
+                        return None
+                    self.stats.cache_hits += 1
+                self.diagnostics.record(
+                    CACHE_HIT, name,
+                    detail="speculative compile served from the persistent cache",
+                    signature=cached.signature,
+                )
+                self.store(cached)
+                return cached
+            try:
+                disambiguation = Disambiguator(self.knows).run_function(fn)
+                speculator = Speculator(options=self.src_options.inference)
+                result = speculator.speculate(fn, disambiguation)
+                compiler = SourceCompiler(
+                    self.src_options, fault_plan=self.fault_plan
+                )
+                start = time.perf_counter()
+                obj = compiler.compile(
+                    fn,
+                    result.signature,
+                    disambiguation=disambiguation,
+                    annotations=result.annotations,
+                    mode="spec",
+                )
+                elapsed = time.perf_counter() - start
+            except CodegenError as exc:
+                # Expected "cannot compile this construct": interpreter-only.
+                with self._lock:
+                    self._uncompilable.add(name)
+                self._record_compile_failure(name, "spec", exc)
+                return None
+            except Exception as exc:  # noqa: BLE001 - the AOT pass must survive
+                # Unexpected compiler crash (inference bug, injected fault):
+                # record it, but leave the function eligible for the JIT — the
+                # concrete call-site types may well compile fine.
+                self._record_compile_failure(name, "spec", exc)
+                return None
+            with self._lock:
+                if (
+                    generation is not None
+                    and self._generations.get(name, 0) != generation
+                ):
+                    # Redefined while compiling: the object describes dead
+                    # source; drop it (the new source gets its own pass).
+                    return None
+                self.stats.speculative_compiles += 1
+                self.stats.speculative_compile_seconds += elapsed
+                self.compile_log.append((name, "spec", obj.phase_times))
+                self.store(obj)
+            self._cache_store(key, obj)
         return obj
 
     def speculate_all(
@@ -561,13 +730,21 @@ class CodeRepository:
         return self._interpret(invocation)
 
     def _note_strike(self, name: str) -> None:
-        strikes = self._strikes.get(name, 0) + 1
-        self._strikes[name] = strikes
-        if strikes >= self.max_strikes and name not in self._uncompilable:
-            self._uncompilable.add(name)
-            self._objects.pop(name, None)
-            self._fast_cache.pop(name, None)
-            self.stats.quarantines += 1
+        with self._lock:
+            strikes = self._strikes.get(name, 0) + 1
+            self._strikes[name] = strikes
+            quarantine = (
+                strikes >= self.max_strikes and name not in self._uncompilable
+            )
+            dropped = ()
+            if quarantine:
+                self._uncompilable.add(name)
+                dropped = tuple(self._objects.pop(name, ()))
+                self._fast_cache.pop(name, None)
+                self.stats.quarantines += 1
+        if quarantine:
+            for obj in dropped:
+                self._evict_cached(name, obj)
             self.diagnostics.record(
                 QUARANTINE, name,
                 detail=f"demoted to interpreter-only after {strikes} "
@@ -575,19 +752,38 @@ class CodeRepository:
             )
 
     def _evict_version(self, name: str, obj: CompiledObject) -> None:
-        versions = self._objects.get(name)
-        if versions:
-            remaining = [v for v in versions if v is not obj]
-            if remaining:
-                self._objects[name] = remaining
-            else:
-                del self._objects[name]
-        if self._fast_cache.get(name) is obj:
-            del self._fast_cache[name]
+        """Quarantine one version everywhere — memory *and* disk, so a
+        cached crasher can never resurrect in a later session."""
+        self._drop_version(name, obj)
+        self._evict_cached(name, obj)
+
+    def _drop_version(self, name: str, obj: CompiledObject) -> None:
+        with self._lock:
+            versions = self._objects.get(name)
+            if versions:
+                remaining = [v for v in versions if v is not obj]
+                if remaining:
+                    self._objects[name] = remaining
+                else:
+                    del self._objects[name]
+            if self._fast_cache.get(name) is obj:
+                del self._fast_cache[name]
+
+    def _evict_cached(self, name: str, obj: CompiledObject) -> None:
+        key = getattr(obj, "cache_key", None)
+        if self.cache is None or key is None:
+            return
+        if self.cache.evict(key):
+            self.diagnostics.record(
+                CACHE_EVICT, name,
+                detail=f"removed cache entry {key[:12]} (version quarantined)",
+                signature=obj.signature,
+            )
 
     def _remove_version(self, name: str, obj: CompiledObject) -> None:
-        """Drop one stored version (budget discard; not a failure)."""
-        self._evict_version(name, obj)
+        """Drop one stored version from memory (budget discard; not a
+        failure — a persisted copy may stay, it is cheap to reload)."""
+        self._drop_version(name, obj)
 
     def _record_compile_failure(
         self, name: str, mode: str, exc, signature=""
@@ -603,7 +799,7 @@ class CodeRepository:
     def _range_only_miss(self, name: str, signature: Signature) -> bool:
         """True when an existing version matches this signature in every
         component except the value ranges."""
-        for version in self._objects.get(name, ()):
+        for version in self.versions_of(name):
             if len(version.signature) != len(signature):
                 continue
             if version.signature == signature:
@@ -618,10 +814,12 @@ class CodeRepository:
         return False
 
     def _has_dynamic_calls(self, fn: ast.FunctionDef) -> bool:
-        return bool(_called_names(fn) & set(self._functions))
+        with self._lock:
+            known = set(self._functions)
+        return bool(_called_names(fn) & known)
 
     def _find_version(self, name: str, signature: Signature):
-        for version in self._objects.get(name, ()):
+        for version in self.versions_of(name):
             if version.signature == signature:
                 return version
         return None

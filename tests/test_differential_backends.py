@@ -1,0 +1,122 @@
+"""Cross-backend differential test suite.
+
+Every program in ``benchsuite/programs`` runs through every execution
+backend — MaJIC JIT, MaJIC speculative, MaJIC with *background*
+speculation, FALCON and mcc — and each result must be **bit-identical**
+to the pure interpreter's (the paper's ground truth).  Any unsound type
+annotation, removed subscript check, miscompiled selection or
+thread-unsafe repository mutation shows up here as a checksum mismatch.
+
+Adding a backend is one line in :data:`BACKENDS`: map a label to a
+callable ``(benchmark_name, scale) -> checksum``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.falcon import FalconCompilerEngine
+from repro.baselines.mcc import MccCompilerEngine
+from repro.benchsuite.registry import benchmark, benchmark_names, source_of
+from repro.benchsuite.workloads import boxed_workload, checksum
+from repro.core.majic import MajicSession, ensure_recursion_limit
+from repro.frontend.parser import parse
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+
+from tests.conftest import TINY_SCALES
+
+_SEED = 20020617  # PLDI 2002
+
+#: Benchmarks exercised in the fast (-m "not slow") lane; the rest of the
+#: matrix runs in the slow lane.
+FAST_NAMES = ("fibonacci", "dirich", "fractal", "cgopt")
+
+
+def _sources(name: str) -> list[str]:
+    spec = benchmark(name)
+    return [source_of(name)] + [source_of(h) for h in spec.helpers]
+
+
+def _fresh_args(name: str):
+    GLOBAL_RANDOM.seed(_SEED)
+    return boxed_workload(name, TINY_SCALES[name])
+
+
+def _digest(outputs) -> float:
+    return checksum(outputs[0]) if outputs else 0.0
+
+
+# ----------------------------------------------------------------------
+# Backend runners: (benchmark name, scale) -> result checksum
+# ----------------------------------------------------------------------
+def run_interpreter(name: str) -> float:
+    table = {}
+    for text in _sources(name):
+        for fn in parse(text).functions:
+            table[fn.name] = fn
+    interp = Interpreter(function_lookup=table.get, sink=OutputSink())
+    ensure_recursion_limit(100_000)
+    args = _fresh_args(name)
+    return _digest(interp.call_function(table[name], args, 1))
+
+
+def run_session(name: str, speculate=False, background=False, **kwargs) -> float:
+    session = MajicSession(seed=None, **kwargs)
+    for text in _sources(name):
+        session.add_source(text)
+    if background:
+        session.speculate_async()
+        assert session.drain_speculation(timeout=60), "speculation queue hung"
+    elif speculate:
+        session.speculate_all()
+    args = _fresh_args(name)
+    digest = _digest(session.call_boxed(name, args, nargout=1))
+    session.close()
+    return digest
+
+
+def run_baseline(engine_factory, name: str) -> float:
+    engine = engine_factory()
+    for text in _sources(name):
+        engine.add_source(text)
+    ensure_recursion_limit(100_000)
+    args = _fresh_args(name)
+    return _digest(engine.execute(name, args, 1))
+
+
+#: The backend matrix.  A new backend is one line: label -> runner.
+BACKENDS = {
+    "jit": lambda name: run_session(name),
+    "spec": lambda name: run_session(name, speculate=True),
+    "background": lambda name: run_session(name, background=True),
+    "falcon": lambda name: run_baseline(FalconCompilerEngine, name),
+    "mcc": lambda name: run_baseline(MccCompilerEngine, name),
+}
+
+_BASELINES: dict[str, float] = {}
+
+
+def interpreter_digest(name: str) -> float:
+    if name not in _BASELINES:
+        _BASELINES[name] = run_interpreter(name)
+    return _BASELINES[name]
+
+
+def _matrix():
+    for name in benchmark_names():
+        for backend in sorted(BACKENDS):
+            fast = name in FAST_NAMES
+            marks = () if fast else (pytest.mark.slow,)
+            yield pytest.param(name, backend, marks=marks, id=f"{name}-{backend}")
+
+
+@pytest.mark.parametrize(("name", "backend"), list(_matrix()))
+def test_backend_bit_identical_to_interpreter(name, backend):
+    expected = interpreter_digest(name)
+    actual = BACKENDS[backend](name)
+    assert actual == expected, (
+        f"{backend} result for {name} diverged from the interpreter "
+        f"({actual!r} != {expected!r})"
+    )

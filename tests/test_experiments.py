@@ -182,6 +182,51 @@ class TestTable2Shape:
         assert "Table 2" in text and "fibonacci" in text
 
 
+class TestResponsiveness:
+    """The responsiveness acceptance criteria: background speculation
+    measurably drops foreground-visible compile time, and a warm-cache
+    session compiles zero functions.  Thresholds are generous — the point
+    is orders of magnitude, not microseconds."""
+
+    @pytest.fixture(scope="class")
+    def phases(self, tmp_path_factory):
+        from repro.experiments import responsiveness
+
+        cache = tmp_path_factory.mktemp("resp-cache")
+        return responsiveness.generate(
+            names=["fibonacci", "dirich"], cache_dir=cache
+        )
+
+    def test_cold_session_pays_real_compile_time(self, phases):
+        assert phases["cold"].compiles == 2
+        assert phases["cold"].foreground_s > 0
+
+    def test_background_hides_compile_time_from_foreground(self, phases):
+        # An enqueue is *vastly* cheaper than compiling, but only demand
+        # a 2x improvement so slow CI machines never flake.
+        assert phases["background"].compiles == 2
+        assert (
+            phases["background"].foreground_s
+            < 0.5 * phases["cold"].foreground_s
+        )
+
+    def test_warm_session_compiles_nothing(self, phases):
+        assert phases["warm"].compiles == 0
+        assert phases["warm"].cache_hits == 2
+
+    def test_render(self, phases):
+        from repro.experiments import responsiveness
+
+        text = responsiveness.render(phases)
+        assert "cold (background)" in text and "warm (disk cache)" in text
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.experiments import responsiveness
+
+        with pytest.raises(ValueError):
+            responsiveness.generate(names=["nope"])
+
+
 class TestReportHelpers:
     def test_format_table(self):
         text = format_table(["a", "b"], [["x", 1.0], ["y", 123.456]])

@@ -1,0 +1,243 @@
+"""The persistent, content-addressed repository cache."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, MajicSession
+from repro.repository.cache import (
+    RepositoryCache,
+    cache_key,
+    deserialize_object,
+    serialize_object,
+)
+from repro.repository.diagnostics import CACHE_EVICT, CACHE_HIT, CACHE_STORE
+
+INC = "function y = inc(x)\ny = x + 1;\n"
+POLY = "function p = poly5(x)\np = x.^5 + 3*x + 2;\n"
+
+
+def _entries(directory) -> list[str]:
+    return sorted(f for f in os.listdir(directory) if f.endswith(".pkl"))
+
+
+# ----------------------------------------------------------------------
+# Warm/cold behaviour through the session API
+# ----------------------------------------------------------------------
+def test_warm_session_compiles_zero_functions(tmp_path):
+    cold = MajicSession(cache_dir=tmp_path)
+    cold.add_source(INC)
+    cold.add_source(POLY)
+    cold.speculate_all()
+    assert cold.stats.speculative_compiles == 2
+    assert cold.stats.cache_stores == 2
+    assert len(_entries(tmp_path)) == 2
+    cold_result = cold.call("poly5", 4)
+
+    warm = MajicSession(cache_dir=tmp_path)
+    warm.add_source(INC)
+    warm.add_source(POLY)
+    report = warm.speculate_all()
+    assert sorted(report) == ["inc", "poly5"]
+    assert warm.stats.speculative_compiles == 0, "warm session must not compile"
+    assert warm.stats.cache_hits == 2
+    assert len(warm.diagnostics.events(CACHE_HIT)) == 2
+    assert warm.call("poly5", 4) == cold_result
+
+
+def test_jit_compiles_are_cached_too(tmp_path):
+    cold = MajicSession(cache_dir=tmp_path)
+    cold.add_source(INC)
+    assert cold.call("inc", 41) == 42.0
+    assert cold.stats.jit_compiles == 1
+
+    warm = MajicSession(cache_dir=tmp_path)
+    warm.add_source(INC)
+    assert warm.call("inc", 41) == 42.0
+    assert warm.stats.jit_compiles == 0
+    assert warm.stats.cache_hits == 1
+
+
+def test_source_change_misses_the_cache(tmp_path):
+    first = MajicSession(cache_dir=tmp_path)
+    first.add_source(INC)
+    first.speculate_all()
+
+    changed = MajicSession(cache_dir=tmp_path)
+    changed.add_source("function y = inc(x)\ny = x + 2;\n")
+    changed.speculate_all()
+    assert changed.stats.cache_hits == 0
+    assert changed.stats.speculative_compiles == 1
+    assert changed.call("inc", 1) == 3.0
+
+
+def test_inlined_callee_change_invalidates_caller_entry(tmp_path):
+    caller = "function y = outer(x)\ny = inner(x) + 1;\n"
+    one = MajicSession(cache_dir=tmp_path)
+    one.add_source(caller)
+    one.add_source("function y = inner(x)\ny = x * 2;\n")
+    one.speculate_all()
+    assert one.call("outer", 5) == 11.0
+
+    # Same caller text, different callee: the caller's prepared source
+    # (inlined) differs, so its key differs and the stale code never loads.
+    two = MajicSession(cache_dir=tmp_path)
+    two.add_source(caller)
+    two.add_source("function y = inner(x)\ny = x * 3;\n")
+    two.speculate_all()
+    assert two.call("outer", 5) == 16.0
+
+
+def test_quarantined_version_is_evicted_from_disk(tmp_path):
+    session = MajicSession(cache_dir=tmp_path)
+    session.add_source(INC)
+    session.speculate_all()
+    assert len(_entries(tmp_path)) == 1
+    repo = session.repository
+    obj = repo.versions_of("inc")[0]
+    from repro.runtime.builtins import GLOBAL_RANDOM
+
+    repo._deoptimize(
+        session.invocation("inc", 3),
+        obj,
+        RuntimeError("miscompile"),
+        GLOBAL_RANDOM.snapshot(),
+        session.sink.mark(),
+    )
+    assert _entries(tmp_path) == [], "cached crasher must not survive deopt"
+    assert len(session.diagnostics.events(CACHE_EVICT)) == 1
+
+    resurrect = MajicSession(cache_dir=tmp_path)
+    resurrect.add_source(INC)
+    resurrect.speculate_all()
+    assert resurrect.stats.cache_hits == 0
+
+
+def test_corrupt_entry_is_a_recorded_miss(tmp_path):
+    session = MajicSession(cache_dir=tmp_path)
+    session.add_source(INC)
+    session.speculate_all()
+    (entry,) = _entries(tmp_path)
+    (tmp_path / entry).write_bytes(b"not a pickle")
+
+    warm = MajicSession(cache_dir=tmp_path)
+    warm.add_source(INC)
+    warm.speculate_all()
+    assert warm.stats.cache_hits == 0
+    assert warm.stats.speculative_compiles == 1
+    assert warm.repository.cache.load_failures == 1
+    # The corrupt file was dropped and replaced by the fresh compile.
+    assert len(_entries(tmp_path)) == 1
+    assert warm.call("inc", 1) == 2.0
+
+
+def test_wrong_function_name_in_entry_is_rejected(tmp_path):
+    session = MajicSession(cache_dir=tmp_path)
+    session.add_source(INC)
+    session.add_source(POLY)
+    session.speculate_all()
+    repo = session.repository
+    (inc_obj,) = repo.versions_of("inc")
+    poly_key = inc_obj.cache_key  # steal inc's payload under poly's key?
+    # Overwrite poly's entry with inc's payload to model tampering.
+    fn = repo._prepared("poly5")
+    key = repo._cache_key(fn, "spec")
+    (tmp_path / f"{key}.pkl").write_bytes(serialize_object(inc_obj))
+
+    warm = MajicSession(cache_dir=tmp_path)
+    warm.add_source(POLY)
+    warm.speculate_all()
+    assert warm.stats.cache_hits == 0
+    assert warm.call("poly5", 4) == 1038.0
+    assert poly_key != key
+
+
+def test_cache_store_fault_is_absorbed(tmp_path):
+    plan = FaultPlan.cache_fault(site="cache.store", hit=1)
+    session = MajicSession(cache_dir=tmp_path, fault_plan=plan)
+    session.add_source(INC)
+    session.speculate_all()
+    assert len(plan.fired) == 1
+    assert _entries(tmp_path) == []  # store failed, nothing persisted
+    assert session.call("inc", 1) == 2.0  # ...and nothing broke
+
+
+def test_cache_load_fault_is_absorbed(tmp_path):
+    cold = MajicSession(cache_dir=tmp_path)
+    cold.add_source(INC)
+    cold.speculate_all()
+
+    plan = FaultPlan.cache_fault(site="cache.load", hit=1)
+    warm = MajicSession(cache_dir=tmp_path, fault_plan=plan)
+    warm.add_source(INC)
+    warm.speculate_all()
+    assert len(plan.fired) == 1
+    assert warm.stats.cache_hits == 0
+    assert warm.stats.speculative_compiles == 1
+    assert warm.call("inc", 1) == 2.0
+
+
+def test_background_speculation_populates_cache(tmp_path):
+    with MajicSession(cache_dir=tmp_path, background=True) as session:
+        session.add_source(INC)
+        session.add_source(POLY)
+        session.speculate_async()
+        assert session.drain_speculation(timeout=30)
+        assert session.stats.cache_stores == 2
+        assert len(session.diagnostics.events(CACHE_STORE)) == 2
+
+    warm = MajicSession(cache_dir=tmp_path)
+    warm.add_source(INC)
+    warm.add_source(POLY)
+    warm.speculate_all()
+    assert warm.stats.speculative_compiles == 0
+    assert warm.stats.cache_hits == 2
+
+
+# ----------------------------------------------------------------------
+# Serialization layer
+# ----------------------------------------------------------------------
+def test_serialized_object_round_trips_and_executes(tmp_path):
+    session = MajicSession(cache_dir=tmp_path)
+    session.add_source(POLY)
+    session.speculate_all()
+    (obj,) = session.repository.versions_of("poly5")
+    payload = serialize_object(obj)
+    revived = deserialize_object(payload)
+    assert revived.name == obj.name
+    assert revived.signature == obj.signature
+    assert revived.emitted.source == obj.emitted.source
+    assert callable(revived.emitted.callable)
+    # The revived callable computes the same thing through the repository.
+    from repro.codegen.runtime_support import RuntimeSupport
+    from repro.runtime.values import from_python, to_python
+
+    rt = RuntimeSupport(call_user=None, sink=session.sink)
+    out = revived.invoke([from_python(4)], 1, rt)
+    assert to_python(out[0]) == 1038.0
+
+
+def test_cache_key_distinguishes_signature_and_version():
+    base = cache_key("function y = f(x)", "sig-a", "opts")
+    assert base == cache_key("function y = f(x)", "sig-a", "opts")
+    assert base != cache_key("function y = f(x)", "sig-b", "opts")
+    assert base != cache_key("function y = g(x)", "sig-a", "opts")
+    assert base != cache_key("function y = f(x)", "sig-a", "other-opts")
+
+
+def test_atomic_writes_leave_no_temp_droppings(tmp_path):
+    cache = RepositoryCache(tmp_path)
+    session = MajicSession()
+    session.add_source(INC)
+    session.speculate_all()
+    (obj,) = session.repository.versions_of("inc")
+    assert cache.put("a" * 64, obj)
+    assert not [f for f in os.listdir(tmp_path) if f.startswith(".tmp-")]
+    loaded = cache.get("a" * 64)
+    assert loaded is not None and loaded.name == "inc"
+    assert cache.evict("a" * 64)
+    assert not cache.evict("a" * 64)
