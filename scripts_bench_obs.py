@@ -1,0 +1,83 @@
+"""Record the observability overhead baseline (BENCH_obs.json).
+
+Measures one fixed call-heavy workload three ways — observability off
+(the default null recorders), trace+metrics on, and metrics only — and
+writes best-of-N wall times plus overhead ratios.  The recorded
+``off_s`` is the regression baseline ISSUE 3 holds future sessions to:
+the obs-disabled path must stay within a few percent of it.
+
+Usage::
+
+    PYTHONPATH=src python scripts_bench_obs.py [--repeats N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import time
+
+from repro import MajicSession
+
+POLY = """
+function p = poly(x)
+p = x.^5 + 3*x + 2;
+"""
+
+STEP = """
+function y = step(x)
+y = poly(x) + poly(x + 1) - poly(x - 1);
+"""
+
+CALLS = 3000
+
+
+def run_once(trace: bool, metrics: bool) -> float:
+    """Wall time of the fixed workload under one recorder configuration
+    (compile warm-up excluded — this measures per-call overhead)."""
+    session = MajicSession(trace=trace, metrics=metrics, inline_enabled=False)
+    session.add_source(POLY)
+    session.add_source(STEP)
+    session.call("step", 1.0)          # warm: compile outside the window
+    start = time.perf_counter()
+    for k in range(CALLS):
+        session.call("step", float(k % 17))
+    return time.perf_counter() - start
+
+
+def best_of(repeats: int, trace: bool, metrics: bool) -> float:
+    return min(run_once(trace, metrics) for _ in range(repeats))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    options = parser.parse_args(argv)
+
+    off = best_of(options.repeats, trace=False, metrics=False)
+    metrics_only = best_of(options.repeats, trace=False, metrics=True)
+    full = best_of(options.repeats, trace=True, metrics=True)
+
+    result = {
+        "workload": f"{CALLS} nested jit calls (step -> 3x poly), best of "
+                    f"{options.repeats}",
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+        "off_s": round(off, 6),
+        "metrics_s": round(metrics_only, 6),
+        "trace_metrics_s": round(full, 6),
+        "metrics_overhead": round(metrics_only / off, 4),
+        "trace_metrics_overhead": round(full / off, 4),
+    }
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for key, value in result.items():
+        print(f"{key:>24}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

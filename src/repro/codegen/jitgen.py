@@ -183,10 +183,14 @@ class JitCompiler:
         options: JitOptions | None = None,
         callee_oracle=None,
         fault_plan=None,
+        tracer=None,
     ):
+        from repro.obs.trace import NULL_TRACER
+
         self.options = options or JitOptions()
         self.callee_oracle = callee_oracle
         self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def compile(
@@ -200,33 +204,39 @@ class JitCompiler:
     ) -> CompiledObject:
         if self.fault_plan is not None:
             self.fault_plan.check("jit", fn.name)
+        tracer = self.tracer
         times = PhaseTimes()
         start = time.perf_counter()
         if disambiguation is None:
-            disambiguation = Disambiguator(
-                is_user_function or (lambda name: False)
-            ).run_function(fn)
+            with tracer.span("disambiguation", "disambiguation",
+                             function=fn.name, mode=mode):
+                disambiguation = Disambiguator(
+                    is_user_function or (lambda name: False)
+                ).run_function(fn)
         times.disambiguation = time.perf_counter() - start
 
         start = time.perf_counter()
         if annotations is None:
-            engine = TypeInferenceEngine(
-                options=self.options.inference,
-                callee_oracle=self.callee_oracle,
-            )
-            annotations = engine.infer(fn, signature, disambiguation)
+            with tracer.span("type_inference", "type_inference",
+                             function=fn.name, mode=mode):
+                engine = TypeInferenceEngine(
+                    options=self.options.inference,
+                    callee_oracle=self.callee_oracle,
+                )
+                annotations = engine.infer(fn, signature, disambiguation)
         times.type_inference = time.perf_counter() - start
 
         start = time.perf_counter()
-        lowerer = _Lowerer(fn, annotations, disambiguation, self.options)
-        ir = lowerer.lower()
-        intervals = compute_intervals(ir)
-        allocator = LinearScanAllocator(
-            num_registers=self.options.num_registers,
-            spill_everything=self.options.spill_everything,
-        )
-        assignment = allocator.allocate(intervals)
-        emitted = emit_python(ir, assignment)
+        with tracer.span("codegen", "codegen", function=fn.name, mode=mode):
+            lowerer = _Lowerer(fn, annotations, disambiguation, self.options)
+            ir = lowerer.lower()
+            intervals = compute_intervals(ir)
+            allocator = LinearScanAllocator(
+                num_registers=self.options.num_registers,
+                spill_everything=self.options.spill_everything,
+            )
+            assignment = allocator.allocate(intervals)
+            emitted = emit_python(ir, assignment)
         times.codegen = time.perf_counter() - start
 
         return CompiledObject(

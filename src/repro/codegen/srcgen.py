@@ -82,9 +82,14 @@ class SrcOptions:
 class SourceCompiler:
     """The ahead-of-time (speculative / FALCON-style) pipeline."""
 
-    def __init__(self, options: SrcOptions | None = None, fault_plan=None):
+    def __init__(
+        self, options: SrcOptions | None = None, fault_plan=None, tracer=None
+    ):
+        from repro.obs.trace import NULL_TRACER
+
         self.options = options or SrcOptions()
         self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def compile(
         self,
@@ -98,28 +103,34 @@ class SourceCompiler:
     ) -> CompiledObject:
         if self.fault_plan is not None:
             self.fault_plan.check("spec", fn.name)
+        tracer = self.tracer
         times = PhaseTimes()
         start = time.perf_counter()
         if disambiguation is None:
-            disambiguation = Disambiguator(
-                is_user_function or (lambda name: False)
-            ).run_function(fn)
+            with tracer.span("disambiguation", "disambiguation",
+                             function=fn.name, mode=mode):
+                disambiguation = Disambiguator(
+                    is_user_function or (lambda name: False)
+                ).run_function(fn)
         times.disambiguation = time.perf_counter() - start
 
         start = time.perf_counter()
         if annotations is None:
-            engine = TypeInferenceEngine(
-                options=self.options.inference, callee_oracle=callee_oracle
-            )
-            annotations = engine.infer(fn, signature, disambiguation)
+            with tracer.span("type_inference", "type_inference",
+                             function=fn.name, mode=mode):
+                engine = TypeInferenceEngine(
+                    options=self.options.inference, callee_oracle=callee_oracle
+                )
+                annotations = engine.infer(fn, signature, disambiguation)
         times.type_inference = time.perf_counter() - start
 
         start = time.perf_counter()
-        emitter = _SrcEmitter(fn, annotations, disambiguation, self.options)
-        source = emitter.emit()
-        namespace: dict = {}
-        code = compile(source, f"<src:{fn.name}>", "exec")
-        exec(code, namespace)
+        with tracer.span("codegen", "codegen", function=fn.name, mode=mode):
+            emitter = _SrcEmitter(fn, annotations, disambiguation, self.options)
+            source = emitter.emit()
+            namespace: dict = {}
+            code = compile(source, f"<src:{fn.name}>", "exec")
+            exec(code, namespace)
         times.codegen = (
             time.perf_counter() - start
         ) * self.options.compile_cost_factor

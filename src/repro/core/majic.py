@@ -24,6 +24,7 @@ from repro.codegen.jitgen import JitOptions
 from repro.codegen.srcgen import SrcOptions
 from repro.core.platformcfg import AblationFlags, PlatformConfig, platform_by_name
 from repro.interp.frontend import Invocation, MajicFrontEnd
+from repro.obs import Observability, Profiler, chrome_trace_json, prometheus_text
 from repro.repository.background import SpeculationEngine
 from repro.repository.cache import DEFAULT_CACHE_DIR, RepositoryCache
 from repro.repository.repo import CodeRepository, CompileBudget
@@ -62,6 +63,8 @@ class MajicSession:
         cache_dir=None,
         background: bool = False,
         workers: int | None = None,
+        trace: bool = False,
+        metrics: bool = False,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -73,6 +76,11 @@ class MajicSession:
             recursion_limit = platform.host_recursion_limit
         ensure_recursion_limit(recursion_limit)
         self.sink = OutputSink()
+        # Observability: a per-session switchboard (null recorders unless
+        # trace/metrics asked for them), shared by the repository, the
+        # compilers it constructs and the background workers.
+        self.obs = Observability(trace=trace, metrics=metrics)
+        self._profiler = Profiler(self.obs)
         # Disk persistence: cache_dir=True selects ~/.pymajic/cache; a
         # path (str/Path) selects that directory; None disables it.
         cache = None
@@ -89,6 +97,7 @@ class MajicSession:
             max_strikes=max_strikes,
             fault_plan=fault_plan,
             cache=cache,
+            obs=self.obs,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
         # Background speculation: a daemon worker pool (lazily started by
@@ -98,7 +107,10 @@ class MajicSession:
         self.engine: SpeculationEngine | None = None
         if background:
             self.engine = SpeculationEngine(
-                self.repository, workers=self._workers, fault_plan=fault_plan
+                self.repository,
+                workers=self._workers,
+                fault_plan=fault_plan,
+                obs=self.obs,
             )
         if seed is not None:
             GLOBAL_RANDOM.seed(seed)
@@ -146,8 +158,13 @@ class MajicSession:
                 self.repository,
                 workers=self._workers,
                 fault_plan=self._fault_plan,
+                obs=self.obs,
             )
-        return self.engine.submit_all()
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self.engine.submit_all()
+        with tracer.span("speculate_async", "speculation"):
+            return self.engine.submit_all()
 
     def pending_speculation(self) -> int:
         """Background compiles still queued or in flight."""
@@ -216,6 +233,96 @@ class MajicSession:
         """The robustness event log (deopts, quarantines, budget skips,
         compile failures) — see :mod:`repro.repository.diagnostics`."""
         return self.repository.diagnostics
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+    def profile(self, action: str = "report"):
+        """MATLAB-style profiler control: ``profile("on"|"off"|"report"|
+        "clear")``.
+
+        ``on`` enables span recording (even on a session constructed
+        without ``trace=True``); ``off`` stops it, keeping the recorded
+        window; ``report`` returns a
+        :class:`~repro.obs.profiler.ProfileReport` of per-function
+        self/cumulative time and call counts split by tier.
+        """
+        action = action.lower()
+        if action == "on":
+            self._profiler.on()
+            # The diagnostics bridge no-ops while everything is disabled,
+            # so (re)bind now that a live tracer exists.
+            self.obs.bind_diagnostics(self.repository.diagnostics)
+            return None
+        if action == "off":
+            self._profiler.off()
+            return None
+        if action == "clear":
+            self._profiler.clear()
+            return None
+        if action == "report":
+            return self._profiler.report()
+        raise ValueError(
+            f"profile() expects 'on', 'off', 'report' or 'clear'; got {action!r}"
+        )
+
+    def profile_spans(self):
+        """Raw spans of the current profiled window (Figure 6 input)."""
+        return self._profiler.spans()
+
+    def trace_json(self) -> str:
+        """The recorded spans as Chrome-trace/Perfetto JSON."""
+        return chrome_trace_json(self.obs.tracer)
+
+    def trace_tree(self) -> str:
+        """The recorded spans as an indented text tree."""
+        return self.obs.tracer.render_tree()
+
+    def metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return prometheus_text(self.obs.metrics)
+
+    def summary(self) -> str:
+        """One-screen session health report (tiers, cache, degradations)."""
+        stats = self.stats
+        calls = stats.calls_jit + stats.calls_spec + stats.calls_interpreted
+        compiled_calls = stats.calls_jit + stats.calls_spec
+        compiled_pct = 100.0 * compiled_calls / calls if calls else 0.0
+        cache_probes = stats.cache_hits + stats.jit_compiles + stats.speculative_compiles
+        counts = self.diagnostics.counts()
+        lines = [
+            "MaJIC session summary",
+            "---------------------",
+            f"calls            {calls} total: {stats.calls_jit} jit, "
+            f"{stats.calls_spec} spec, {stats.calls_interpreted} interpreted "
+            f"({compiled_pct:.1f}% compiled)",
+            f"compiles         {stats.jit_compiles} jit, "
+            f"{stats.speculative_compiles} speculative "
+            f"({stats.background_compiles} in background), "
+            f"{stats.compile_failures} failed",
+            f"compile time     {stats.jit_compile_seconds:.4f}s jit, "
+            f"{stats.speculative_compile_seconds:.4f}s speculative",
+            f"cache            {stats.cache_hits} hits, "
+            f"{stats.cache_stores} stores"
+            + (
+                f" ({100.0 * stats.cache_hits / cache_probes:.1f}% hit ratio)"
+                if cache_probes
+                else ""
+            ),
+            f"degradations     {stats.deopts} deopts, "
+            f"{stats.quarantines} quarantines, "
+            f"{stats.budget_skips} budget skips",
+            f"diagnostics      {len(self.diagnostics)} events recorded, "
+            f"{self.diagnostics.dropped} dropped"
+            + (f" ({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})"
+               if counts else ""),
+            f"speculation      {self.pending_speculation()} pending in background",
+            f"observability    trace={'on' if self.obs.tracer.enabled else 'off'}, "
+            f"metrics={'on' if self.obs.metrics.enabled else 'off'}"
+            + (f", {len(self.obs.tracer.spans())} spans recorded"
+               if self.obs.tracer.enabled else ""),
+        ]
+        return "\n".join(lines)
 
     def invocation(self, name: str, *args, nargout: int = 1) -> Invocation:
         return Invocation(

@@ -53,3 +53,30 @@ class ExecutionBreakdown:
         self.disambiguation += phase_times.disambiguation
         self.type_inference += phase_times.type_inference
         self.codegen += phase_times.codegen
+
+    @classmethod
+    def from_spans(cls, spans) -> "ExecutionBreakdown":
+        """Re-derive Figure 6's categories from a traced session's spans.
+
+        Each compile-phase span category maps to its breakdown bucket;
+        ``execution`` spans contribute *self* time (duration minus direct
+        children) so nested interpreter->compiled calls are not double
+        counted.  Built on the same :func:`repro.obs.trace.self_times`
+        substrate as the profiler, so the two reports agree by
+        construction.
+        """
+        from repro.obs.trace import self_times
+
+        spans = tuple(spans)
+        selfs = self_times(spans)
+        breakdown = cls()
+        for span in spans:
+            if span.category == "disambiguation":
+                breakdown.disambiguation += span.duration
+            elif span.category == "type_inference":
+                breakdown.type_inference += span.duration
+            elif span.category == "codegen":
+                breakdown.codegen += span.duration
+            elif span.category == "execution":
+                breakdown.execution += selfs.get(span.span_id, 0.0)
+        return breakdown

@@ -47,6 +47,10 @@ class RunResult:
     compile_s: float = 0.0           # excluded (batch/speculative) compile
     breakdown: ExecutionBreakdown | None = None
     scale: tuple = ()
+    #: The measured session, kept only when observability was requested
+    #: (``run_benchmark(trace=..., metrics=...)``) so callers can export
+    #: the trace/metrics of the best run.
+    session: object = None
 
 
 def _sources(name: str) -> list[str]:
@@ -83,12 +87,17 @@ def _run_interp(name: str, args, nargout: int, repeats: int):
 def _run_jit(
     name: str, args, nargout: int, repeats: int,
     platform: PlatformConfig, ablation: AblationFlags,
+    trace: bool = False, metrics: bool = False,
 ):
     best = float("inf")
     digest = 0.0
     breakdown = None
+    kept = None
     for _ in range(repeats):
-        session = MajicSession(platform=platform, ablation=ablation, seed=None)
+        session = MajicSession(
+            platform=platform, ablation=ablation, seed=None,
+            trace=trace, metrics=metrics,
+        )
         for text in _sources(name):
             session.add_source(text)
         GLOBAL_RANDOM.seed(_SEED)
@@ -99,19 +108,32 @@ def _run_jit(
         digest = _result_digest(outputs)
         if elapsed < best:
             best = elapsed
-            breakdown = ExecutionBreakdown()
-            for _, mode, phases in session.repository.compile_log:
-                if mode == "jit":
-                    breakdown.add_phases(phases)
-            breakdown.execution = max(elapsed - breakdown.compile, 0.0)
-    return best, digest, 0.0, breakdown
+            if trace:
+                # Spans carry the full phase/execution attribution, so the
+                # Figure 6 breakdown comes straight from the trace.
+                breakdown = ExecutionBreakdown.from_spans(
+                    session.obs.tracer.spans()
+                )
+            else:
+                breakdown = ExecutionBreakdown()
+                for _, mode, phases in session.repository.compile_log:
+                    if mode == "jit":
+                        breakdown.add_phases(phases)
+                breakdown.execution = max(elapsed - breakdown.compile, 0.0)
+            if trace or metrics:
+                kept = session
+    return best, digest, 0.0, breakdown, kept
 
 
 def _run_spec(
     name: str, args, nargout: int, repeats: int,
     platform: PlatformConfig, ablation: AblationFlags,
+    trace: bool = False, metrics: bool = False,
 ):
-    session = MajicSession(platform=platform, ablation=ablation, seed=None)
+    session = MajicSession(
+        platform=platform, ablation=ablation, seed=None,
+        trace=trace, metrics=metrics,
+    )
     for text in _sources(name):
         session.add_source(text)
     compile_start = time.perf_counter()
@@ -126,7 +148,12 @@ def _run_spec(
         outputs = session.call_boxed(name, fresh_args, nargout=nargout)
         best = min(best, time.perf_counter() - start)
         digest = _result_digest(outputs)
-    return best, digest, hidden_compile, None
+    breakdown = (
+        ExecutionBreakdown.from_spans(session.obs.tracer.spans())
+        if trace else None
+    )
+    kept = session if (trace or metrics) else None
+    return best, digest, hidden_compile, breakdown, kept
 
 
 def _run_baseline(
@@ -165,8 +192,16 @@ def run_benchmark(
     repeats: int = 3,
     ablation: AblationFlags | None = None,
     nargout: int = 1,
+    trace: bool = False,
+    metrics: bool = False,
 ) -> RunResult:
-    """Measure one benchmark under one engine; best-of-``repeats``."""
+    """Measure one benchmark under one engine; best-of-``repeats``.
+
+    ``trace``/``metrics`` (jit/spec engines only) turn on the session's
+    observability recorders; the best run's session rides along on
+    ``RunResult.session`` for export, and a traced jit/spec breakdown is
+    derived from the span tree instead of wall-clock subtraction.
+    """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
     # The bare-interpreter and baseline engines run without a MajicSession,
@@ -176,18 +211,21 @@ def run_benchmark(
     scale = tuple(scale if scale is not None else spec.default_scale)
     args = boxed_workload(name, scale)
     ablation = ablation or AblationFlags()
+    session = None
 
     if engine == "interp":
         best, digest, hidden, breakdown = _run_interp(
             name, args, nargout, repeats
         )
     elif engine == "jit":
-        best, digest, hidden, breakdown = _run_jit(
-            name, args, nargout, repeats, platform, ablation
+        best, digest, hidden, breakdown, session = _run_jit(
+            name, args, nargout, repeats, platform, ablation,
+            trace=trace, metrics=metrics,
         )
     elif engine == "spec":
-        best, digest, hidden, breakdown = _run_spec(
-            name, args, nargout, repeats, platform, ablation
+        best, digest, hidden, breakdown, session = _run_spec(
+            name, args, nargout, repeats, platform, ablation,
+            trace=trace, metrics=metrics,
         )
     else:
         best, digest, hidden, breakdown = _run_baseline(
@@ -203,7 +241,73 @@ def run_benchmark(
         compile_s=hidden,
         breakdown=breakdown,
         scale=scale,
+        session=session,
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: measure one benchmark, optionally with observability exports.
+
+    Usage::
+
+        PYTHONPATH=src python -m repro.experiments.harness fibonacci \\
+            --engine jit --trace --metrics \\
+            --trace-out trace.json --metrics-out metrics.prom
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("benchmark", help="benchsuite program to measure")
+    parser.add_argument("--engine", default="jit", choices=ENGINES)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--scale", type=float, nargs="*", default=None,
+        help="override the benchmark's default workload scale",
+    )
+    parser.add_argument("--trace", action="store_true",
+                        help="record hierarchical spans (jit/spec engines)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record the metrics registry (jit/spec engines)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write Chrome-trace JSON of the best run")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write Prometheus text of the best run")
+    options = parser.parse_args(argv)
+    trace = options.trace or options.trace_out is not None
+    metrics = options.metrics or options.metrics_out is not None
+    scale = tuple(options.scale) if options.scale else None
+    result = run_benchmark(
+        options.benchmark,
+        engine=options.engine,
+        scale=scale,
+        repeats=options.repeats,
+        trace=trace,
+        metrics=metrics,
+    )
+    print(
+        f"{result.benchmark} [{result.engine}] best of {result.repeats}: "
+        f"{result.runtime_s:.6f}s (checksum {result.checksum})"
+    )
+    if result.breakdown is not None:
+        shares = result.breakdown.fractions()
+        print(
+            "breakdown: "
+            + ", ".join(f"{k}={v:.1%}" for k, v in shares.items())
+        )
+    session = result.session
+    if session is not None:
+        print()
+        print(session.summary())
+        if options.trace_out:
+            with open(options.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(session.trace_json())
+            print(f"trace written to {options.trace_out}")
+        if options.metrics_out:
+            with open(options.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(session.metrics_text())
+            print(f"metrics written to {options.metrics_out}")
+        session.close()
+    return 0
 
 
 def speedup_table(
@@ -233,3 +337,7 @@ def speedup_table(
             )
         table[name] = row
     return table
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,14 +103,23 @@ def run_with_faults(
     scale: tuple | None = None,
     speculate: bool = False,
     background: bool = False,
+    trace: bool = False,
+    metrics: bool = False,
 ) -> tuple[float, MajicSession]:
     """Checksum of one benchmark under a (possibly faulted) session.
 
     ``background=True`` routes the speculative pass through the worker
     pool: faults then fire *inside worker threads*, and the bounded drain
-    doubles as the no-deadlock assertion.
+    doubles as the no-deadlock assertion.  ``trace``/``metrics`` switch
+    the session's observability recorders on (exported by ``main``).
     """
-    session = MajicSession(seed=None, fault_plan=plan, background=background)
+    session = MajicSession(
+        seed=None,
+        fault_plan=plan,
+        background=background,
+        trace=trace,
+        metrics=metrics,
+    )
     for text in _sources(name):
         session.add_source(text)
     if background:
@@ -201,6 +210,23 @@ def main(argv: list[str] | None = None) -> int:
              "faults inside worker threads",
     )
     parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="run a final observed (fault-free) pass with span tracing on "
+             "and print the session summary",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="run a final observed pass with the metrics registry on",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the observed pass's Chrome-trace JSON here",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the observed pass's Prometheus text exposition here",
+    )
     options = parser.parse_args(argv)
     names = options.benchmarks
     if names is None and options.smoke:
@@ -214,6 +240,26 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(outcomes) - failures}/{len(outcomes)} differential runs "
         f"bit-identical to the interpreter"
     )
+    trace = options.trace or options.trace_out is not None
+    metrics = options.metrics or options.metrics_out is not None
+    if trace or metrics:
+        # One fault-free observed pass (background so worker spans show),
+        # then the one-screen health report and the requested exports.
+        observed = (names or benchmark_names())[0]
+        digest, session = run_with_faults(
+            observed, plan=None, background=True, trace=trace, metrics=metrics
+        )
+        print()
+        print(f"observed pass: {observed} (checksum {digest})")
+        print(session.summary())
+        if options.trace_out:
+            with open(options.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(session.trace_json())
+            print(f"trace written to {options.trace_out}")
+        if options.metrics_out:
+            with open(options.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(session.metrics_text())
+            print(f"metrics written to {options.metrics_out}")
     return 1 if failures else 0
 
 

@@ -1,0 +1,214 @@
+"""Unified observability for a MaJIC session (tracing, metrics, profiling).
+
+Three pillars share one wiring point, the :class:`Observability` facade:
+
+* **Tracing** (:mod:`repro.obs.trace`): hierarchical spans around parse,
+  disambiguation, type inference, code generation, compiled execution,
+  interpreter fallback, cache traffic and background speculation, with
+  cross-thread parent propagation into worker threads; exportable as
+  Chrome-trace JSON (:mod:`repro.obs.export_chrome`) or a text tree.
+* **Metrics** (:mod:`repro.obs.metrics`): a counters/gauges/histograms
+  registry — per-phase compile latency, cache hit ratio, tiered call
+  counts, speculation queue depth — with Prometheus text exposition
+  (:mod:`repro.obs.export_prom`).  The repository's
+  :class:`~repro.repository.diagnostics.DiagnosticsLog` feeds the
+  registry through a listener, so every robustness counter (deopts,
+  quarantines, budget skips, compile failures) comes for free.
+* **Profiling** (:mod:`repro.obs.profiler`): a MATLAB-``profile``-style
+  per-function report split by execution tier, derived from the same
+  spans as the Figure 6 breakdown.
+
+Both recorders are **null objects when disabled** (the default): the
+instrumented hot paths pay one attribute check and allocate nothing, a
+property guarded by tests and the recorded ``BENCH_obs.json`` baseline.
+Enable per session with ``MajicSession(trace=True, metrics=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export_chrome import (
+    chrome_trace,
+    chrome_trace_json,
+    write_chrome_trace,
+)
+from repro.obs.export_prom import prometheus_text, write_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.profiler import (
+    FunctionProfile,
+    Profiler,
+    ProfileReport,
+    report_from_spans,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    self_times,
+)
+
+#: Execution-tier label values used across spans, metrics and reports.
+TIER_INTERPRETER = "interpreter"
+TIER_JIT = "jit"
+TIER_SPEC = "spec"
+
+
+class Observability:
+    """One session's observability switchboard.
+
+    Holds the (real or null) tracer and metrics registry, pre-binds the
+    hot-path instruments so the per-call cost is a dict-free ``inc()``,
+    and subscribes to a :class:`DiagnosticsLog` so robustness events feed
+    the metrics and the trace stream without any extra call sites.
+    """
+
+    def __init__(self, trace: bool = False, metrics: bool = False):
+        self.tracer = Tracer() if trace else NULL_TRACER
+        self.metrics = MetricsRegistry() if metrics else NULL_METRICS
+        self._bound_logs: list = []
+        self._rebuild_instruments()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    def enable_tracing(self) -> None:
+        """Swap the null tracer for a live one (``profile on``)."""
+        if not self.tracer.enabled:
+            self.tracer = Tracer()
+
+    def disable_tracing(self) -> None:
+        if self.tracer.enabled:
+            self.tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------
+    def _rebuild_instruments(self) -> None:
+        registry = self.metrics
+        self._calls = registry.counter(
+            "majic_calls_total",
+            "Function executions by tier (interpreter vs compiled).",
+            labelnames=("tier",),
+        )
+        self._call_children = {
+            TIER_INTERPRETER: self._calls.labels(tier=TIER_INTERPRETER),
+            TIER_JIT: self._calls.labels(tier=TIER_JIT),
+            TIER_SPEC: self._calls.labels(tier=TIER_SPEC),
+        }
+        self._compiles = registry.counter(
+            "majic_compiles_total",
+            "Completed compiles by pipeline mode.",
+            labelnames=("mode",),
+        )
+        self._compile_phase_seconds = registry.histogram(
+            "majic_compile_phase_seconds",
+            "Compile latency split by phase (the Figure 6 categories).",
+            labelnames=("mode", "phase"),
+        )
+        self._cache_requests = registry.counter(
+            "majic_cache_requests_total",
+            "Persistent-cache probes by result.",
+            labelnames=("result",),
+        )
+        self._events = registry.counter(
+            "majic_events_total",
+            "Diagnostics events by kind (deopt, quarantine, ...).",
+            labelnames=("kind",),
+        )
+        self._queue_depth = registry.gauge(
+            "majic_speculation_queue_depth",
+            "Background compiles queued or in flight.",
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path helpers (no-ops when metrics are disabled)
+    # ------------------------------------------------------------------
+    def record_call(self, tier: str) -> None:
+        if not self.metrics.enabled:
+            return
+        child = self._call_children.get(tier)
+        if child is None:
+            child = self._call_children[tier] = self._calls.labels(tier=tier)
+        child.inc()
+
+    def record_compile(self, mode: str, phase_times) -> None:
+        if not self.metrics.enabled:
+            return
+        self._compiles.inc(mode=mode)
+        observe = self._compile_phase_seconds.observe
+        observe(phase_times.disambiguation, mode=mode, phase="disambiguation")
+        observe(phase_times.type_inference, mode=mode, phase="type_inference")
+        observe(phase_times.codegen, mode=mode, phase="codegen")
+
+    def record_cache(self, result: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._cache_requests.inc(result=result)
+
+    def set_queue_depth(self, depth: int) -> None:
+        if not self.metrics.enabled:
+            return
+        self._queue_depth.labels().set(depth)
+
+    # ------------------------------------------------------------------
+    # Diagnostics bridge
+    # ------------------------------------------------------------------
+    def bind_diagnostics(self, log) -> None:
+        """Mirror every :class:`DiagnosticEvent` into the metrics
+        registry and (as an instant) into the trace stream."""
+        if not self.enabled or log in self._bound_logs:
+            return
+        self._bound_logs.append(log)
+        log.add_listener(self._on_diagnostic)
+
+    def _on_diagnostic(self, event) -> None:
+        if self.metrics.enabled:
+            self._events.inc(kind=event.kind)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                event.kind, "diagnostic",
+                function=event.function, detail=event.detail,
+            )
+
+
+#: Shared always-off facade; the default for components constructed
+#: without a session.  Never mutated (``enable_tracing`` is only reached
+#: through a session-owned instance).
+DISABLED = Observability()
+
+
+__all__ = [
+    "Observability",
+    "DISABLED",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "self_times",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "ProfileReport",
+    "FunctionProfile",
+    "report_from_spans",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "TIER_INTERPRETER",
+    "TIER_JIT",
+    "TIER_SPEC",
+]

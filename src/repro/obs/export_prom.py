@@ -1,0 +1,71 @@
+"""Prometheus text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Produces the plain-text format scrape endpoints serve (version 0.0.4):
+``# HELP`` / ``# TYPE`` headers followed by one sample line per labelled
+child; histograms expand into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  The session-level entry point is
+:meth:`MajicSession.metrics_text`, and the fault/experiment harnesses
+write the same text via ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _labels(names, values, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render every registered metric; deterministic order, trailing
+    newline, parseable by any Prometheus scraper."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labelvalues, child in metric.samples():
+            if metric.kind == "histogram":
+                for bound, count in child.cumulative():
+                    le = _labels(
+                        metric.labelnames, labelvalues,
+                        extra=f'le="{_format_number(bound)}"',
+                    )
+                    lines.append(f"{metric.name}_bucket{le} {count}")
+                labels = _labels(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}_sum{labels} {_format_number(child.sum)}"
+                )
+                lines.append(f"{metric.name}_count{labels} {child.count}")
+            else:
+                labels = _labels(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}{labels} {_format_number(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry, path) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+    return str(path)

@@ -35,6 +35,7 @@ import queue
 import threading
 import time
 
+from repro.obs import DISABLED as DISABLED_OBS
 from repro.repository.diagnostics import COMPILE_FAILURE, SPECULATE_ASYNC
 
 _STOP = object()
@@ -47,11 +48,22 @@ DEFAULT_WORKERS = 2
 class SpeculationEngine:
     """A daemon worker pool running speculative compiles off-thread."""
 
-    def __init__(self, repository, workers: int = DEFAULT_WORKERS, fault_plan=None):
+    def __init__(
+        self,
+        repository,
+        workers: int = DEFAULT_WORKERS,
+        fault_plan=None,
+        obs=None,
+    ):
         if workers < 1:
             raise ValueError("SpeculationEngine needs at least one worker")
         self.repository = repository
         self.fault_plan = fault_plan
+        # Observability: default to the repository's switchboard so the
+        # workers and the foreground share one tracer/registry.
+        if obs is None:
+            obs = getattr(repository, "obs", None) or DISABLED_OBS
+        self.obs = obs
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._quiet = threading.Condition(self._lock)
@@ -89,7 +101,12 @@ class SpeculationEngine:
             if self._queued.get(name) == generation:
                 return False
             self._queued[name] = generation
-        self._queue.put((name, generation))
+        # Capture the submitting thread's innermost span (typically the
+        # session's ``speculate_async`` span) so the worker's spans hang
+        # off it in the trace tree despite running on another thread.
+        parent = self.obs.tracer.current_id()
+        self._queue.put((name, generation, parent))
+        self.obs.set_queue_depth(self.pending())
         return True
 
     def submit_all(self) -> int:
@@ -151,20 +168,37 @@ class SpeculationEngine:
             item = self._queue.get()
             if item is _STOP:
                 return
-            name, generation = item
+            # Items are (name, generation, parent-span); tolerate bare
+            # (name, generation) pairs for direct queue injection.
+            name, generation, *rest = item
+            parent = rest[0] if rest else None
             with self._lock:
                 if self._queued.get(name) == generation:
                     del self._queued[name]
                 self._in_flight += 1
             try:
-                self._run_one(repo, name, generation)
+                self._run_one(repo, name, generation, parent)
             finally:
                 with self._quiet:
                     self._in_flight -= 1
+                    # Gauge update inside the lock, *before* notifying:
+                    # a drained foreground must observe the settled depth.
+                    self.obs.set_queue_depth(
+                        len(self._queued) + self._in_flight
+                    )
                     if not self._queued and not self._in_flight:
                         self._quiet.notify_all()
 
-    def _run_one(self, repo, name: str, generation: int) -> None:
+    def _run_one(self, repo, name: str, generation: int, parent=None) -> None:
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._run_one_raw(repo, name, generation)
+        with tracer.adopt(parent):
+            with tracer.span(name, "background", function=name,
+                             generation=generation):
+                return self._run_one_raw(repo, name, generation)
+
+    def _run_one_raw(self, repo, name: str, generation: int) -> None:
         try:
             if repo.generation_of(name) != generation:
                 self.cancelled.append(name)

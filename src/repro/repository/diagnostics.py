@@ -14,6 +14,7 @@ structured event that tests and operators can assert on.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 #: Event kinds recorded by the repository.
@@ -39,6 +40,8 @@ class DiagnosticEvent:
     cause: str = ""       # repr() of the triggering exception, if any
     signature: str = ""   # signature of the implicated compiled version
     seq: int = 0          # monotonic per-session sequence number
+    wall_time: float = 0.0  # time.time() at record (log shipping)
+    thread: str = ""      # recording thread's name (worker attribution)
 
     def __str__(self) -> str:
         parts = [f"[{self.seq}] {self.kind} {self.function}"]
@@ -64,6 +67,7 @@ class DiagnosticsLog:
     _seq: int = 0
     _dropped: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _listeners: list = field(default_factory=list, repr=False)
 
     def record(
         self,
@@ -82,13 +86,30 @@ class DiagnosticsLog:
                 cause=repr(cause) if isinstance(cause, BaseException) else (cause or ""),
                 signature=str(signature) if signature else "",
                 seq=self._seq,
+                wall_time=time.time(),
+                thread=threading.current_thread().name,
             )
             self._events.append(event)
             if len(self._events) > self.capacity:
                 overflow = len(self._events) - self.capacity
                 del self._events[:overflow]
                 self._dropped += overflow
-            return event
+            listeners = tuple(self._listeners)
+        # Listeners (the metrics/trace bridge) run outside the lock: they
+        # may take their own locks, and the flight recorder must never
+        # deadlock or crash the execution path it is recording.
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:  # noqa: BLE001 - observers cannot break execution
+                pass
+        return event
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(event)`` to every future record."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     def events(self, kind: str | None = None) -> list[DiagnosticEvent]:
@@ -107,17 +128,20 @@ class DiagnosticsLog:
     @property
     def dropped(self) -> int:
         """Events lost to the capacity bound (health signal by itself)."""
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self):
         return iter(self.events())
 
     def __bool__(self) -> bool:
-        return bool(self._events)
+        with self._lock:
+            return bool(self._events)

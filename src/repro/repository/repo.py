@@ -52,6 +52,8 @@ from repro.codegen.runtime_support import RuntimeSupport
 from repro.codegen.srcgen import SourceCompiler, SrcOptions
 from repro.inference.speculation import Speculator
 from repro.interp.interpreter import Interpreter
+from repro.obs import DISABLED as DISABLED_OBS
+from repro.obs import TIER_INTERPRETER
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.mxarray import MxArray
@@ -90,6 +92,10 @@ class RepositoryStats:
     background_compiles: int = 0
     cache_hits: int = 0
     cache_stores: int = 0
+    # Observability: executions by tier (summary()/profiler cross-checks).
+    calls_jit: int = 0
+    calls_spec: int = 0
+    calls_interpreted: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,7 @@ class CodeRepository:
         max_strikes: int = 3,
         fault_plan=None,
         cache=None,
+        obs=None,
     ):
         self.jit_options = jit_options or JitOptions()
         self.src_options = src_options or SrcOptions()
@@ -148,6 +155,9 @@ class CodeRepository:
         self.compile_budget = compile_budget or CompileBudget()
         self.max_strikes = max_strikes
         self.fault_plan = fault_plan
+        # Observability switchboard (tracing + metrics; a shared null
+        # facade when the session didn't ask for either).
+        self.obs = obs if obs is not None else DISABLED_OBS
         # Optional disk persistence (a RepositoryCache); compiled objects
         # found there skip compilation entirely in warm sessions.
         self.cache = cache
@@ -155,6 +165,9 @@ class CodeRepository:
         self.depgraph = DependencyGraph()
         self.stats = RepositoryStats()
         self.diagnostics = DiagnosticsLog()
+        # Robustness events mirror into the metrics registry and the
+        # trace stream for free (deopts, quarantines, budget skips, ...).
+        self.obs.bind_diagnostics(self.diagnostics)
         # name -> FunctionDef (raw, as parsed)
         self._functions: dict[str, ast.FunctionDef] = {}
         # name -> inlined FunctionDef cache
@@ -198,7 +211,11 @@ class CodeRepository:
     def add_source(self, source: str | ast.Program) -> list[str]:
         """Register function definitions from source text or a parsed
         program; returns the names registered."""
-        program = parse(source) if isinstance(source, str) else source
+        if isinstance(source, str):
+            with self.obs.tracer.span("parse", "parse"):
+                program = parse(source)
+        else:
+            program = source
         if program.is_script:
             raise RepositoryError("scripts cannot be added to the repository")
         names = []
@@ -401,17 +418,21 @@ class CodeRepository:
         """Look one compile up in the disk cache; validate before trusting."""
         if key is None:
             return None
-        obj = self.cache.get(key)
+        with self.obs.tracer.span("cache.load", "cache", function=name):
+            obj = self.cache.get(key)
         if obj is None:
+            self.obs.record_cache("miss")
             return None
         if obj.name != name:
             # Hash collision or tampering: refuse the entry.
+            self.obs.record_cache("miss")
             self.cache.evict(key)
             self.diagnostics.record(
                 CACHE_LOAD, name,
                 detail=f"rejected cache entry {key[:12]} naming '{obj.name}'",
             )
             return None
+        self.obs.record_cache("hit")
         self.diagnostics.record(
             CACHE_LOAD, name,
             detail=f"loaded {obj.mode} version from cache entry {key[:12]}",
@@ -422,7 +443,9 @@ class CodeRepository:
     def _cache_store(self, key: str | None, obj: CompiledObject) -> None:
         if key is None:
             return
-        if self.cache.put(key, obj):
+        with self.obs.tracer.span("cache.store", "cache", function=obj.name):
+            stored = self.cache.put(key, obj)
+        if stored:
             with self._lock:
                 self.stats.cache_stores += 1
             self.diagnostics.record(
@@ -448,6 +471,15 @@ class CodeRepository:
         and returns the object (this call needs it) but records the event
         and flags the function so speculative passes skip it up front.
         """
+        with self.obs.tracer.span("jit_compile", "compile", function=name):
+            return self._jit_compile(name, signature, budget)
+
+    def _jit_compile(
+        self,
+        name: str,
+        signature: Signature,
+        budget: float | None = None,
+    ) -> CompiledObject:
         fn = self._prepared(name)
         with self._compile_lock(name):
             if self._has_dynamic_calls(fn) or self._range_only_miss(name, signature):
@@ -475,7 +507,11 @@ class CodeRepository:
                 )
                 self.store(cached)
                 return cached
-            compiler = JitCompiler(self.jit_options, fault_plan=self.fault_plan)
+            compiler = JitCompiler(
+                self.jit_options,
+                fault_plan=self.fault_plan,
+                tracer=self.obs.tracer,
+            )
             start = time.perf_counter()
             obj = compiler.compile(
                 fn, signature, mode="jit", is_user_function=self.knows
@@ -485,6 +521,7 @@ class CodeRepository:
                 self.stats.jit_compiles += 1
                 self.stats.jit_compile_seconds += duration
                 self.compile_log.append((name, "jit", obj.phase_times))
+            self.obs.record_compile("jit", obj.phase_times)
             self.store(obj)
             self._cache_store(key, obj)
         if budget is None:
@@ -513,6 +550,12 @@ class CodeRepository:
         """
         if generation is not None and self.generation_of(name) != generation:
             return None
+        with self.obs.tracer.span("speculate", "compile", function=name):
+            return self._speculate(name, generation)
+
+    def _speculate(
+        self, name: str, generation: int | None = None
+    ) -> CompiledObject | None:
         fn = self._prepared(name)
         key = self._cache_key(fn, "spec")
         with self._compile_lock(name):
@@ -532,12 +575,21 @@ class CodeRepository:
                 )
                 self.store(cached)
                 return cached
+            tracer = self.obs.tracer
             try:
-                disambiguation = Disambiguator(self.knows).run_function(fn)
-                speculator = Speculator(options=self.src_options.inference)
-                result = speculator.speculate(fn, disambiguation)
+                phase_start = time.perf_counter()
+                with tracer.span("disambiguation", "disambiguation",
+                                 function=name, mode="spec"):
+                    disambiguation = Disambiguator(self.knows).run_function(fn)
+                disamb_elapsed = time.perf_counter() - phase_start
+                phase_start = time.perf_counter()
+                with tracer.span("type_inference", "type_inference",
+                                 function=name, mode="spec"):
+                    speculator = Speculator(options=self.src_options.inference)
+                    result = speculator.speculate(fn, disambiguation)
+                inference_elapsed = time.perf_counter() - phase_start
                 compiler = SourceCompiler(
-                    self.src_options, fault_plan=self.fault_plan
+                    self.src_options, fault_plan=self.fault_plan, tracer=tracer
                 )
                 start = time.perf_counter()
                 obj = compiler.compile(
@@ -560,6 +612,10 @@ class CodeRepository:
                 # concrete call-site types may well compile fine.
                 self._record_compile_failure(name, "spec", exc)
                 return None
+            # Credit the repository-side analysis phases (the compiler
+            # received them precomputed, so its own clocks read zero).
+            obj.phase_times.disambiguation += disamb_elapsed
+            obj.phase_times.type_inference += inference_elapsed
             with self._lock:
                 if (
                     generation is not None
@@ -572,6 +628,7 @@ class CodeRepository:
                 self.stats.speculative_compile_seconds += elapsed
                 self.compile_log.append((name, "spec", obj.phase_times))
                 self.store(obj)
+            self.obs.record_compile("spec", obj.phase_times)
             self._cache_store(key, obj)
         return obj
 
@@ -588,6 +645,12 @@ class CodeRepository:
         :class:`SpeculationReport` subclass also carries ``skipped``,
         ``failed`` and ``elapsed``.
         """
+        with self.obs.tracer.span("speculate_all", "speculation"):
+            return self._speculate_all(budget)
+
+    def _speculate_all(
+        self, budget: float | CompileBudget | None = None
+    ) -> SpeculationReport:
         budget = _as_budget(budget) if budget is not None else self.compile_budget
         report = SpeculationReport()
         names = self.function_names()
@@ -699,6 +762,21 @@ class CodeRepository:
     # ------------------------------------------------------------------
     def _guarded_invoke(self, invocation, obj: CompiledObject) -> list[MxArray]:
         """Run one compiled object with the deopt safety net armed."""
+        tier = obj.mode
+        if tier == "spec":
+            self.stats.calls_spec += 1
+        else:
+            self.stats.calls_jit += 1
+        self.obs.record_call(tier)
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._guarded_invoke_raw(invocation, obj)
+        with tracer.span(invocation.name, "execution", tier=tier):
+            return self._guarded_invoke_raw(invocation, obj)
+
+    def _guarded_invoke_raw(
+        self, invocation, obj: CompiledObject
+    ) -> list[MxArray]:
         rng_state = GLOBAL_RANDOM.snapshot()
         sink_mark = self.sink.mark()
         try:
@@ -826,10 +904,18 @@ class CodeRepository:
 
     def _interpret(self, invocation) -> list[MxArray]:
         self.stats.fallback_interpreted += 1
+        self.stats.calls_interpreted += 1
+        self.obs.record_call(TIER_INTERPRETER)
         fn = self._functions[invocation.name]
-        return self._interpreter.call_function(
-            fn, invocation.args, invocation.nargout
-        )
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._interpreter.call_function(
+                fn, invocation.args, invocation.nargout
+            )
+        with tracer.span(invocation.name, "execution", tier=TIER_INTERPRETER):
+            return self._interpreter.call_function(
+                fn, invocation.args, invocation.nargout
+            )
 
     def _call_user(self, name: str, args: list[MxArray], nargout: int):
         """Re-entry point for compiled code calling user functions."""

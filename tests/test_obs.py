@@ -1,0 +1,253 @@
+"""Tracing + profiler observability (ISSUE 3's tentpole).
+
+The acceptance criteria exercised here:
+
+* a traced session produces Chrome-trace JSON containing disambiguation,
+  type-inference, codegen and execution spans for a JIT-compiled function;
+* a background speculation worker's span is parented to the foreground
+  ``speculate_async`` span despite running on another thread;
+* the span-derived :class:`ExecutionBreakdown` and the profiler report
+  agree on total execution self time (same substrate, ≤1% tolerance);
+* the obs-disabled path allocates no spans at all (tracemalloc guard).
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import MajicSession
+from repro.core.timing import ExecutionBreakdown
+from repro.obs import NULL_TRACER, Tracer, chrome_trace, self_times
+
+POLY = """
+function p = poly(x)
+p = x.^5 + 3*x + 2;
+"""
+
+CALLER = """
+function y = caller(x)
+y = poly(x) + poly(x + 1);
+"""
+
+
+def traced_session() -> MajicSession:
+    session = MajicSession(trace=True, metrics=True)
+    session.add_source(POLY)
+    session.add_source(CALLER)
+    return session
+
+
+# ----------------------------------------------------------------------
+# Span emission around the compile pipeline
+# ----------------------------------------------------------------------
+def test_jit_compile_emits_phase_spans():
+    session = traced_session()
+    assert session.call("poly", 4.0) == pytest.approx(1038.0)
+    cats = {span.category for span in session.obs.tracer.spans()}
+    assert {"parse", "compile", "disambiguation", "type_inference",
+            "codegen", "execution"} <= cats
+
+
+def test_execution_span_carries_tier():
+    session = traced_session()
+    session.call("poly", 4.0)
+    execs = [s for s in session.obs.tracer.spans() if s.category == "execution"]
+    assert execs and execs[-1].name == "poly"
+    assert execs[-1].args["tier"] in ("jit", "spec", "interpreter")
+
+
+def test_phase_spans_are_children_of_compile_span():
+    session = traced_session()
+    session.call("poly", 4.0)
+    spans = session.obs.tracer.spans()
+    compile_ids = {s.span_id for s in spans if s.category == "compile"}
+    for phase in ("disambiguation", "type_inference", "codegen"):
+        phase_spans = [s for s in spans if s.category == phase]
+        assert phase_spans, f"no {phase} span recorded"
+        assert all(s.parent_id in compile_ids for s in phase_spans)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export schema
+# ----------------------------------------------------------------------
+def test_chrome_trace_json_schema():
+    session = traced_session()
+    session.call("poly", 4.0)
+    doc = json.loads(session.trace_json())          # parseable
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    complete = [e for e in events if e.get("ph") == "X"]
+    assert complete
+    for event in complete:
+        assert isinstance(event["name"], str)
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert isinstance(event["ts"], float)
+        assert event["dur"] >= 0.0
+        assert "span_id" in event["args"]
+    cats = {e["cat"] for e in complete}
+    assert {"disambiguation", "type_inference", "codegen", "execution"} <= cats
+    meta = [e for e in events if e.get("ph") == "M"]
+    assert any(m["args"]["name"] == "MainThread" for m in meta)
+
+
+def test_chrome_trace_preserves_parent_links():
+    session = traced_session()
+    session.call("poly", 4.0)
+    doc = chrome_trace(session.obs.tracer)
+    by_id = {
+        e["args"]["span_id"]: e
+        for e in doc["traceEvents"]
+        if e.get("ph") in ("X", "i")
+    }
+    linked = [e for e in by_id.values() if "parent_id" in e["args"]]
+    assert linked
+    for event in linked:
+        assert event["args"]["parent_id"] in by_id
+
+
+# ----------------------------------------------------------------------
+# Cross-thread parentage (background speculation workers)
+# ----------------------------------------------------------------------
+def test_background_worker_span_parented_to_speculate_async():
+    session = traced_session()
+    session.call("poly", 4.0)
+    assert session.speculate_async() > 0
+    assert session.drain_speculation(timeout=30)
+    spans = session.obs.tracer.spans()
+    fg = [s for s in spans if s.name == "speculate_async"
+          and s.category == "speculation"]
+    assert len(fg) == 1
+    workers = [s for s in spans if s.category == "background"]
+    assert workers
+    for worker in workers:
+        assert worker.parent_id == fg[0].span_id
+        assert worker.thread != fg[0].thread      # genuinely cross-thread
+    session.close()
+
+
+# ----------------------------------------------------------------------
+# Profiler ↔ breakdown consistency (one timing substrate)
+# ----------------------------------------------------------------------
+def test_breakdown_matches_profiler_within_1pct():
+    session = MajicSession()
+    session.add_source(POLY)
+    session.add_source(CALLER)
+    session.profile("on")
+    for k in range(6):
+        session.call("caller", float(k))
+    session.profile("off")
+    report = session.profile("report")
+    breakdown = ExecutionBreakdown.from_spans(session.profile_spans())
+    assert report.total_self_s > 0.0
+    assert breakdown.execution == pytest.approx(
+        report.total_self_s, rel=0.01
+    )
+
+
+def test_profiler_rows_split_by_tier():
+    # Inlining would fold poly into caller's body; disable it so the
+    # nested call produces its own execution spans (and its own row).
+    session = MajicSession(trace=True, inline_enabled=False)
+    session.add_source(POLY)
+    session.add_source(CALLER)
+    session.profile("on")
+    session.call("caller", 2.0)
+    session.call("caller", 3.0)
+    session.profile("off")
+    report = session.profile("report")
+    row = report.row("poly")
+    assert row is not None
+    assert row.calls >= 2            # caller invokes poly twice per call
+    assert row.tier in ("jit", "spec", "interpreter")
+    assert report.total_calls == sum(e.calls for e in report.entries)
+    rendered = report.render()
+    assert "poly" in rendered and "TOTAL" in rendered
+
+
+def test_profile_on_off_restores_disabled_tracer():
+    session = MajicSession()          # no trace requested
+    assert session.obs.tracer is NULL_TRACER
+    session.profile("on")
+    assert session.obs.tracer.enabled
+    session.profile("off")
+    assert not session.obs.tracer.enabled
+
+
+def test_profile_rejects_unknown_action():
+    session = MajicSession()
+    with pytest.raises(ValueError):
+        session.profile("sideways")
+
+
+# ----------------------------------------------------------------------
+# The disabled path allocates no spans
+# ----------------------------------------------------------------------
+def test_disabled_observability_allocates_no_spans():
+    session = MajicSession()
+    session.add_source(POLY)
+    session.call("poly", 2.0)         # warm: compile outside the window
+    tracemalloc.start()
+    try:
+        for k in range(20):
+            session.call("poly", float(k))
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_alloc = [
+        trace for trace in snapshot.traces
+        if any("/repro/obs/" in frame.filename for frame in trace.traceback)
+    ]
+    assert obs_alloc == []
+    assert session.obs.tracer.spans() == ()
+    assert len(session.obs.tracer) == 0
+
+
+def test_null_tracer_span_is_shared_instance():
+    assert NULL_TRACER.span("a", "b") is NULL_TRACER.span("c", "d", k=1)
+    assert NULL_TRACER.render_tree() == "(tracing disabled)"
+
+
+# ----------------------------------------------------------------------
+# Tree rendering, self-time substrate, session summary
+# ----------------------------------------------------------------------
+def test_render_tree_indents_children():
+    session = traced_session()
+    session.call("poly", 4.0)
+    tree = session.trace_tree()
+    assert "- jit_compile [compile]" in tree
+    assert "\n  - type_inference [type_inference]" in tree
+
+
+def test_self_times_subtracts_direct_children():
+    tracer = Tracer()
+    with tracer.span("outer", "execution"):
+        with tracer.span("inner", "execution"):
+            pass
+    spans = {s.name: s for s in tracer.spans()}
+    selfs = self_times(tracer.spans())
+    outer, inner = spans["outer"], spans["inner"]
+    assert selfs[inner.span_id] == pytest.approx(inner.duration)
+    assert selfs[outer.span_id] == pytest.approx(
+        outer.duration - inner.duration, abs=1e-9
+    )
+
+
+def test_session_summary_reports_health():
+    session = traced_session()
+    session.call("poly", 4.0)
+    text = session.summary()
+    assert "MaJIC session summary" in text
+    assert "1 total: 1 jit" in text
+    assert "trace=on" in text and "metrics=on" in text
+
+
+def test_summary_on_untraced_session():
+    session = MajicSession()
+    session.add_source(POLY)
+    session.call("poly", 2.0)
+    text = session.summary()
+    assert "trace=off" in text and "metrics=off" in text

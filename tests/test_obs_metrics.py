@@ -1,0 +1,244 @@
+"""Metrics registry, Prometheus exposition and the diagnostics bridge.
+
+Covers ISSUE 3's metrics pillar and its satellites: instrument semantics,
+text-exposition format, the DiagnosticsLog → registry listener, the new
+``wall_time``/``thread`` event fields, and consistency of the counters
+under concurrent background-speculation load (hypothesis).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MajicSession
+from repro.obs import NULL_METRICS, MetricsRegistry, prometheus_text
+from repro.repository.diagnostics import DiagnosticsLog
+
+POLY = """
+function p = poly(x)
+p = x.^5 + 3*x + 2;
+"""
+
+
+# ----------------------------------------------------------------------
+# Instrument semantics
+# ----------------------------------------------------------------------
+def test_counter_only_goes_up():
+    registry = MetricsRegistry()
+    calls = registry.counter("calls_total", "calls", labelnames=("tier",))
+    calls.inc(tier="jit")
+    calls.inc(2.0, tier="jit")
+    assert calls.labels(tier="jit").value == 3.0
+    with pytest.raises(ValueError):
+        calls.inc(-1.0, tier="jit")
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    depth = registry.gauge("queue_depth")
+    depth.labels().set(4)
+    depth.labels().dec()
+    assert depth.labels().value == 3.0
+
+
+def test_histogram_cumulative_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.labels().observe(value)
+    child = hist.labels()
+    assert child.cumulative() == [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+    assert child.sum == pytest.approx(5.55)
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total")
+    assert registry.counter("x_total") is first
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+
+
+def test_null_metrics_absorbs_everything():
+    counter = NULL_METRICS.counter("anything")
+    counter.inc(tier="jit")
+    assert NULL_METRICS.collect() == []
+    assert NULL_METRICS.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def test_prometheus_text_format():
+    registry = MetricsRegistry()
+    calls = registry.counter("majic_calls_total", "Calls.", labelnames=("tier",))
+    calls.inc(tier="jit")
+    hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.5,))
+    hist.labels().observe(0.25)
+    text = prometheus_text(registry)
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert "# HELP majic_calls_total Calls." in lines
+    assert "# TYPE majic_calls_total counter" in lines
+    assert 'majic_calls_total{tier="jit"} 1' in lines
+    assert "# TYPE lat_seconds histogram" in lines
+    assert 'lat_seconds_bucket{le="0.5"} 1' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in lines
+    assert "lat_seconds_sum 0.25" in lines
+    assert "lat_seconds_count 1" in lines
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    counter = registry.counter("odd_total", labelnames=("detail",))
+    counter.inc(detail='say "hi"\nnow')
+    text = prometheus_text(registry)
+    assert r'detail="say \"hi\"\nnow"' in text
+
+
+# ----------------------------------------------------------------------
+# Session-level wiring
+# ----------------------------------------------------------------------
+def test_session_counters_match_stats():
+    session = MajicSession(metrics=True)
+    session.add_source(POLY)
+    for k in range(5):
+        session.call("poly", float(k))
+    snap = session.obs.metrics.snapshot()
+    calls = snap["majic_calls_total"]
+    total = sum(calls.values())
+    stats = session.stats
+    assert total == (
+        stats.calls_jit + stats.calls_spec + stats.calls_interpreted
+    ) == 5
+    assert snap["majic_compiles_total"][("jit",)] == stats.jit_compiles
+
+
+def test_compile_phase_histogram_observes_all_phases():
+    session = MajicSession(metrics=True)
+    session.add_source(POLY)
+    session.call("poly", 1.0)
+    hist = session.obs.metrics.counter  # registry access below
+    phases = {
+        key for key, _ in
+        session.obs.metrics.histogram("majic_compile_phase_seconds").samples()
+    }
+    assert {("jit", "disambiguation"), ("jit", "type_inference"),
+            ("jit", "codegen")} <= phases
+    assert callable(hist)
+
+
+def test_diagnostics_feed_metrics_registry():
+    session = MajicSession(metrics=True)
+    session.add_source(POLY)
+    session.diagnostics.record("deopt", "poly", detail="test event")
+    snap = session.obs.metrics.snapshot()
+    assert snap["majic_events_total"][("deopt",)] == 1.0
+
+
+def test_metrics_text_on_session():
+    session = MajicSession(metrics=True)
+    session.add_source(POLY)
+    session.call("poly", 1.0)
+    text = session.metrics_text()
+    assert 'majic_calls_total{tier="jit"} 1' in text
+
+
+# ----------------------------------------------------------------------
+# DiagnosticsLog satellites: new fields, locked reads, listeners
+# ----------------------------------------------------------------------
+def test_diagnostic_event_wall_time_and_thread():
+    log = DiagnosticsLog()
+    event = log.record("deopt", "f")
+    assert event.wall_time > 0.0
+    assert event.thread == threading.current_thread().name
+
+
+def test_listener_exceptions_are_swallowed():
+    log = DiagnosticsLog()
+    seen = []
+
+    def bad(event):
+        raise RuntimeError("observer bug")
+
+    log.add_listener(bad)
+    log.add_listener(seen.append)
+    event = log.record("deopt", "f")
+    assert seen == [event]          # later listeners still run
+
+
+def test_listener_may_reenter_log_without_deadlock():
+    log = DiagnosticsLog()
+    kinds = []
+
+    def reentrant(event):
+        # Listeners run outside the lock, so reading back is safe.
+        kinds.append((event.kind, len(log)))
+
+    log.add_listener(reentrant)
+    log.record("deopt", "f")
+    assert kinds == [("deopt", 1)]
+
+
+def test_dropped_and_len_under_capacity_pressure():
+    log = DiagnosticsLog(capacity=3)
+    for index in range(5):
+        log.record("deopt", f"f{index}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert bool(log)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: counters stay consistent under background speculation
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("call"), st.integers(-3, 7)),
+        st.tuples(st.just("speculate")),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=ops)
+def test_metrics_consistent_under_concurrent_speculation(ops):
+    session = MajicSession(metrics=True, seed=None)
+    session.add_source(POLY)
+    calls = 0
+    try:
+        for op in ops:
+            if op[0] == "call":
+                session.call("poly", float(op[1]))
+                calls += 1
+            else:
+                session.speculate_async()
+        assert session.drain_speculation(timeout=30)
+        stats = session.stats
+        snap = session.obs.metrics.snapshot()
+        recorded = sum(snap["majic_calls_total"].values())
+        assert recorded == calls
+        assert recorded == (
+            stats.calls_jit + stats.calls_spec + stats.calls_interpreted
+        )
+        compiles = snap.get("majic_compiles_total", {})
+        assert sum(compiles.values()) == (
+            stats.jit_compiles + stats.speculative_compiles
+        )
+        events = snap.get("majic_events_total", {})
+        assert sum(events.values()) == len(session.diagnostics)
+        depth = snap.get("majic_speculation_queue_depth", {})
+        for value in depth.values():
+            assert value == 0.0     # drained ⇒ gauge settled at zero
+    finally:
+        session.close()
