@@ -1,0 +1,276 @@
+"""Record the fused-kernel performance baseline (BENCH_perf.json).
+
+Times each workload under three engines — the interpreter (the paper's
+t_i baseline), the JIT with elementwise fusion disabled
+(``MajicSession(fusion=False)``), and the JIT with fusion on (the
+default) — and writes per-workload wall times plus geometric-mean
+speedups.  Two workload families run:
+
+* **Table 1 programs** that the static matcher fuses as-is (qmr, sor,
+  orbec): whole-program speedups, where fusion is one factor among
+  many (BLAS matmuls, loop overhead, builtins).
+* **Elementwise update cores derived from Table 1 programs**
+  (``qmr_axpy`` from qmr's vector updates, ``orb_step`` from the
+  orbec/orbrk state integrator, ``crnich_step`` from the
+  Crank-Nicholson averaging stencil): the library-call-overhead
+  regime of Figure 3, where one fused kernel replaces a chain of
+  ``g_*`` calls and their intermediate MxArray boxing.
+
+Every fused result is asserted bit-identical to the unfused JIT and the
+interpreter before any timing is reported.  The script also reports the
+kernel-cache hit rate of a simulated "second run" (fresh sessions over
+the same sources), which should be ~100%: every kernel is already in
+the process-wide content-addressed cache.
+
+Usage::
+
+    PYTHONPATH=src python scripts_bench_perf.py [--quick] [--repeats N]
+                                                [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform as host_platform
+import time
+
+import numpy as np
+
+from repro.benchsuite.registry import benchmark, source_of
+from repro.benchsuite.workloads import boxed_workload, checksum
+from repro.core.majic import MajicSession, ensure_recursion_limit
+from repro.frontend.parser import parse
+from repro.interp.interpreter import Interpreter
+from repro.kernels.cache import KERNEL_CACHE
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+from repro.runtime.values import from_python
+
+# ----------------------------------------------------------------------
+# Elementwise update cores derived from Table 1 programs.  The loop
+# lives *inside* the function so per-call session overhead is excluded;
+# each body line is one maximal fusible tree.
+# ----------------------------------------------------------------------
+
+QMR_AXPY = """
+function s = qmr_axpy(x, p, v, alpha, beta, iters)
+% The coupled vector updates at the heart of QMR (Table 1, qmr.m):
+% three AXPY-chain recurrences per iteration.
+r = x;
+for k = 1:iters,
+  x = x + alpha .* p - beta .* v;
+  r = r - alpha .* v + beta .* p;
+  p = r + beta .* p - alpha .* x;
+end
+s = x + r + p;
+"""
+
+ORB_STEP = """
+function s = orb_step(x, y, vx, vy, h, gm, steps)
+% The two-body state update of orbec.m/orbrk.m (Table 1): inverse-cube
+% gravity followed by an Euler-Cromer step, all elementwise.
+for k = 1:steps,
+  r3 = (x .* x + y .* y) .^ 1.5;
+  ax = 0.0 - gm .* x ./ r3;
+  ay = 0.0 - gm .* y ./ r3;
+  vx = vx + h .* ax;
+  vy = vy + h .* ay;
+  x = x + h .* vx;
+  y = y + h .* vy;
+end
+s = x + y + vx + vy;
+"""
+
+CRNICH_STEP = """
+function u = crnich_step(u, uold, c, steps)
+% The Crank-Nicholson time-averaging update of crnich.m (Table 1),
+% reduced to its elementwise core: a convex average plus a damped
+% correction term.
+for k = 1:steps,
+  unew = 0.5 .* (u + uold) + c .* (uold - u);
+  uold = u;
+  u = unew;
+end
+"""
+
+
+def derived_workloads(quick: bool) -> dict:
+    n = 32 if quick else 48
+    steps = 60 if quick else 400
+    rng = np.random.default_rng(5)
+    vec = lambda seed: np.random.default_rng(seed).random((1, n)) + 0.5
+    return {
+        "qmr_axpy": {
+            "sources": [QMR_AXPY],
+            "entry": "qmr_axpy",
+            "args": [vec(1), vec(2), vec(3), 0.0005, 0.0003, float(steps)],
+        },
+        "orb_step": {
+            "sources": [ORB_STEP],
+            "entry": "orb_step",
+            "args": [vec(4), vec(5), vec(6) - 1.0, vec(7) - 1.0,
+                     0.001, 1.0, float(steps)],
+        },
+        "crnich_step": {
+            "sources": [CRNICH_STEP],
+            "entry": "crnich_step",
+            "args": [vec(8), vec(9), 0.01, float(steps)],
+        },
+    }
+
+
+def table1_workloads(quick: bool) -> dict:
+    scales = {
+        "qmr": (40, 1e-8, 60) if quick else (80, 1e-10, 200),
+        "sor": (30, 1.5, 1e-6, 80) if quick else (60, 1.5, 1e-8, 200),
+        "orbec": (150, 0.0005) if quick else (1500, 0.0005),
+    }
+    out = {}
+    for name, scale in scales.items():
+        spec = benchmark(name)
+        sources = [source_of(name)] + [source_of(h) for h in spec.helpers]
+        out[name] = {
+            "sources": sources,
+            "entry": name,
+            "args": None,        # built via boxed_workload at call time
+            "scale": scale,
+        }
+    return out
+
+
+def boxed_args(spec: dict) -> list:
+    if spec["args"] is not None:
+        return [from_python(a) for a in spec["args"]]
+    return boxed_workload(spec["entry"], spec["scale"])
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+def time_interp(spec: dict, repeats: int) -> tuple[float, float]:
+    table = {}
+    for text in spec["sources"]:
+        for fn in parse(text).functions:
+            table[fn.name] = fn
+    interp = Interpreter(function_lookup=table.get, sink=OutputSink())
+    entry = table[spec["entry"]]
+    args = boxed_args(spec)
+    GLOBAL_RANDOM.seed(0)
+    outputs = interp.call_function(entry, args, 1)     # warm (memoized plans)
+    digest = checksum(outputs[0])
+    best = math.inf
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(0)
+        start = time.perf_counter()
+        interp.call_function(entry, args, 1)
+        best = min(best, time.perf_counter() - start)
+    return best, digest
+
+
+def time_jit(spec: dict, repeats: int, fusion: bool) -> tuple[float, float]:
+    session = MajicSession(fusion=fusion)
+    for text in spec["sources"]:
+        session.add_source(text)
+    args = boxed_args(spec)
+    GLOBAL_RANDOM.seed(0)
+    outputs = session.call_boxed(spec["entry"], args, nargout=1)  # warm: compiles
+    digest = checksum(outputs[0])
+    best = math.inf
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(0)
+        start = time.perf_counter()
+        session.call_boxed(spec["entry"], args, nargout=1)
+        best = min(best, time.perf_counter() - start)
+    session.close()
+    return best, digest
+
+
+def second_run_hit_rate(workloads: dict) -> float:
+    """Kernel-cache behaviour of a warm 'second run': fresh sessions over
+    the same sources against the already-populated process-wide cache."""
+    before = KERNEL_CACHE.stats()
+    for spec in workloads.values():
+        session = MajicSession()
+        for text in spec["sources"]:
+            session.add_source(text)
+        GLOBAL_RANDOM.seed(0)
+        session.call_boxed(spec["entry"], boxed_args(spec), nargout=1)
+        session.close()
+    after = KERNEL_CACHE.stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    return hits / total if total else 1.0
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales / few repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_perf.json")
+    options = parser.parse_args(argv)
+    repeats = options.repeats or (3 if options.quick else 7)
+
+    ensure_recursion_limit(100_000)
+    workloads = {**derived_workloads(options.quick),
+                 **table1_workloads(options.quick)}
+
+    per_workload: dict[str, dict] = {}
+    for name, spec in workloads.items():
+        interp_s, interp_digest = time_interp(spec, repeats)
+        unfused_s, unfused_digest = time_jit(spec, repeats, fusion=False)
+        fused_s, fused_digest = time_jit(spec, repeats, fusion=True)
+        assert fused_digest == unfused_digest == interp_digest, (
+            f"{name}: engines disagree "
+            f"(interp={interp_digest!r}, unfused={unfused_digest!r}, "
+            f"fused={fused_digest!r})"
+        )
+        per_workload[name] = {
+            "interp_s": round(interp_s, 6),
+            "jit_unfused_s": round(unfused_s, 6),
+            "jit_fused_s": round(fused_s, 6),
+            "jit_vs_interp": round(interp_s / unfused_s, 4),
+            "fused_vs_interp": round(interp_s / fused_s, 4),
+            "fusion_vs_unfused": round(unfused_s / fused_s, 4),
+        }
+        print(f"{name:>12}: interp {interp_s:.4f}s  "
+              f"unfused {unfused_s:.4f}s  fused {fused_s:.4f}s  "
+              f"fusion x{unfused_s / fused_s:.2f}")
+
+    result = {
+        "description": "Fused elementwise kernels vs unfused JIT vs "
+                       "interpreter; best-of-N single-call wall times",
+        "quick": options.quick,
+        "repeats": repeats,
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+        "workloads": per_workload,
+        "geomean_jit_vs_interp": round(
+            geomean([w["jit_vs_interp"] for w in per_workload.values()]), 4),
+        "geomean_fused_vs_interp": round(
+            geomean([w["fused_vs_interp"] for w in per_workload.values()]), 4),
+        "geomean_fusion_vs_unfused": round(
+            geomean([w["fusion_vs_unfused"] for w in per_workload.values()]), 4),
+        "second_run_kernel_hit_rate": round(
+            second_run_hit_rate(workloads), 4),
+        "kernel_cache": KERNEL_CACHE.stats(),
+    }
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for key in ("geomean_jit_vs_interp", "geomean_fused_vs_interp",
+                "geomean_fusion_vs_unfused", "second_run_kernel_hit_rate"):
+        print(f"{key:>28}: {result[key]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

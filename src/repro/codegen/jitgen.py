@@ -77,6 +77,7 @@ class JitOptions:
     spill_everything: bool = False
     unroll_enabled: bool = True
     dgemv_enabled: bool = True
+    fusion: bool = True
     inference: InferenceOptions = field(default_factory=InferenceOptions)
 
 
@@ -105,6 +106,11 @@ class CompiledObject:
     output_reprs: list[str]
     mode: str = "jit"
     phase_times: PhaseTimes = field(default_factory=PhaseTimes)
+    #: Source of every fused kernel the emitted code references, keyed by
+    #: kernel name — rides the pickle into the persistent cache so a
+    #: fresh process can re-register them (``rt.kernel_<hash>`` dispatch
+    #: must never miss for disk-revived objects).
+    kernel_sources: dict = field(default_factory=dict)
 
     @property
     def source(self) -> str:
@@ -184,6 +190,7 @@ class JitCompiler:
         callee_oracle=None,
         fault_plan=None,
         tracer=None,
+        obs=None,
     ):
         from repro.obs.trace import NULL_TRACER
 
@@ -191,6 +198,7 @@ class JitCompiler:
         self.callee_oracle = callee_oracle
         self.fault_plan = fault_plan
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def compile(
@@ -228,7 +236,10 @@ class JitCompiler:
 
         start = time.perf_counter()
         with tracer.span("codegen", "codegen", function=fn.name, mode=mode):
-            lowerer = _Lowerer(fn, annotations, disambiguation, self.options)
+            lowerer = _Lowerer(
+                fn, annotations, disambiguation, self.options,
+                fault_plan=self.fault_plan, tracer=tracer, obs=self.obs,
+            )
             ir = lowerer.lower()
             intervals = compute_intervals(ir)
             allocator = LinearScanAllocator(
@@ -248,6 +259,7 @@ class JitCompiler:
             output_reprs=lowerer.output_reprs,
             mode=mode,
             phase_times=times,
+            kernel_sources=dict(lowerer.kernel_sources),
         )
 
 
@@ -260,11 +272,20 @@ class _Lowerer:
         annotations: Annotations,
         disambiguation: DisambiguationResult,
         options: JitOptions,
+        fault_plan=None,
+        tracer=None,
+        obs=None,
     ):
+        from repro.obs.trace import NULL_TRACER
+
         self.fn = fn
         self.ann = annotations
         self.dis = disambiguation
         self.options = options
+        self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.obs = obs
+        self.kernel_sources: dict[str, str] = {}
         self.selector = Selector(
             fn, annotations,
             unroll_enabled=options.unroll_enabled,
@@ -856,6 +877,9 @@ class _Lowerer:
 
     # ------------------------------------------------------------------
     def lower_unary(self, expr, end_array, end_dim) -> tuple[int, str]:
+        fused = self.try_fuse(expr, end_array, end_dim)
+        if fused is not None:
+            return fused
         shape = self.selector.unroll_shape(expr)
         if shape is not None and expr.op is ast.UnaryKind.NEG:
             return self.lower_unrolled(expr, shape)
@@ -868,12 +892,56 @@ class _Lowerer:
         helper = {"-": "g_neg", "+": "box", "~": "g_not"}[expr.op.value]
         return self.callrt(helper, [reg], BOXED), BOXED
 
+    # ------------------------------------------------------------------
+    # Elementwise fusion: collapse a whole array-typed operator tree into
+    # one content-addressed kernel call (repro.kernels).  Deep trees over
+    # exactly-known small shapes stay with the unroller — per-element
+    # host arithmetic beats a NumPy kernel below ~4 collapsed ops.
+    _FUSE_OVER_UNROLL_OPS = 4
+
+    def try_fuse(
+        self, expr, end_array=None, end_dim=0
+    ) -> tuple[int, str] | None:
+        if not self.options.fusion:
+            return None
+        from repro.kernels import KERNEL_CACHE, match_typed
+
+        plan = match_typed(expr, self.ann, self.dis)
+        if plan is None:
+            return None
+        if (
+            self.options.unroll_enabled
+            and plan.op_count < self._FUSE_OVER_UNROLL_OPS
+            and self.selector.unroll_shape(expr) is not None
+        ):
+            return None
+        with self.tracer.span(
+            "fusion", "fusion",
+            function=self.fn.name, ops=plan.op_count,
+        ):
+            leaf_regs = []
+            descs = []
+            for leaf in plan.leaves:
+                reg, kind = self.lower_expr(leaf, end_array, end_dim)
+                descs.append("b" if kind == BOXED else "s")
+                leaf_regs.append(reg)
+            kernel = KERNEL_CACHE.get_or_compile(
+                plan.root, tuple(descs),
+                fault_plan=self.fault_plan, obs=self.obs,
+            )
+        self.kernel_sources[kernel.name] = kernel.source
+        result = self.callrt(kernel.name, leaf_regs, BOXED)
+        return self._coerce_to_annotation(result, BOXED, expr)
+
     def lower_binary(self, expr, end_array, end_dim) -> tuple[int, str]:
         if expr.op in ("&&", "||"):
             return self.lower_short_circuit(expr)
         match = self.selector.match_dgemv(expr)
         if match is not None:
             return self.lower_dgemv(match)
+        fused = self.try_fuse(expr, end_array, end_dim)
+        if fused is not None:
+            return fused
         shape = self.selector.unroll_shape(expr)
         if shape is not None:
             return self.lower_unrolled(expr, shape)
@@ -1148,6 +1216,10 @@ class _Lowerer:
             and not expr.args
         ):
             return self.const(mtype.constant_value, RAW_REAL), RAW_REAL
+        # Builtin-rooted fused trees (e.g. ``exp(a .* b)``).
+        fused = self.try_fuse(expr)
+        if fused is not None:
+            return fused
         # Scalar math fast path.
         fast = SCALAR_MATH.get(expr.name)
         if fast is not None and len(expr.args) == 1:

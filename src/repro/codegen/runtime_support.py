@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import cmath
 import math
+import time
 
 from repro.errors import RuntimeMatlabError
 from repro.runtime import builtins as rt_builtins
@@ -514,12 +515,59 @@ class RuntimeSupport:
         call_user=None,
         sink: display.OutputSink | None = None,
         fault_plan=None,
+        obs=None,
     ):
         self.sink = sink if sink is not None else display.OutputSink()
         self._call_user = call_user
         self.fault_plan = fault_plan
+        self.obs = obs
         if fault_plan is not None:
             self._arm_faults(fault_plan)
+
+    # ------------------------------------------------------------------
+    # Fused-kernel dispatch (repro.kernels): emitted code hoists
+    # ``rt.kernel_<hash>`` like any helper; the first lookup resolves it
+    # against the process-wide kernel cache and caches the binding on the
+    # instance.  An unknown kernel (e.g. a stale disk-cached object whose
+    # sources failed to revive) raises AttributeError — a host-level
+    # fault the guarded repository absorbs by deoptimizing.
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        if name.startswith("kernel_"):
+            fn = self._bind_kernel(name)
+            setattr(self, name, fn)
+            return fn
+        raise AttributeError(
+            f"'{type(self).__name__}' object has no attribute '{name}'"
+        )
+
+    def _bind_kernel(self, name: str):
+        from repro.faults.plan import SITE_KERNEL_RUN
+        from repro.kernels.cache import KERNEL_CACHE
+
+        kernel = KERNEL_CACHE.lookup(name)
+        if kernel is None:
+            raise AttributeError(f"unknown fused kernel '{name}'")
+        fn = kernel.fn
+        obs = self.obs
+        if obs is not None and obs.metrics.enabled:
+            def timed(*args, _fn=fn, _name=name, _obs=obs):
+                start = time.perf_counter()
+                result = _fn(*args)
+                _obs.record_kernel_run(_name, time.perf_counter() - start)
+                return result
+
+            fn = timed
+        plan = self.fault_plan
+        if plan is not None and any(
+            spec.site == SITE_KERNEL_RUN for spec in plan.specs
+        ):
+            def shim(*args, _fn=fn, _plan=plan, _name=name):
+                _plan.check(SITE_KERNEL_RUN, _name)
+                return _fn(*args)
+
+            fn = shim
+        return fn
 
     # ------------------------------------------------------------------
     # Fault injection (repro.faults): instance attributes shadow the class

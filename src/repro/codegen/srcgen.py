@@ -309,7 +309,7 @@ class _SrcEmitter:
                 )
                 if stmt.display:
                     self.line(
-                        f"rt.display_value('ans', "
+                        f"{self.helper('display_value')}('ans', "
                         f"{self.coerce(self.var('ans'), self.var_kind('ans'), BOXED)})"
                     )
             else:
@@ -372,7 +372,7 @@ class _SrcEmitter:
                 self.line(f"{alias} = {self.var(target.name)}.data")
             if stmt.display:
                 self.line(
-                    f"rt.display_value({target.name!r}, "
+                    f"{self.helper('display_value')}({target.name!r}, "
                     f"{self.coerce(self.var(target.name), kind, BOXED)})"
                 )
             return
@@ -470,9 +470,15 @@ class _SrcEmitter:
         )
         nargout = len(stmt.targets)
         if call.kind is ast.ApplyKind.BUILTIN:
-            call_code = f"rt.builtin({call.name!r}, {nargout}{', ' + args if args else ''})"
+            call_code = (
+                f"{self.helper('builtin')}"
+                f"({call.name!r}, {nargout}{', ' + args if args else ''})"
+            )
         else:
-            call_code = f"rt.call_user({call.name!r}, {nargout}{', ' + args if args else ''})"
+            call_code = (
+                f"{self.helper('call_user')}"
+                f"({call.name!r}, {nargout}{', ' + args if args else ''})"
+            )
         temp = self.fresh("m")
         self.line(f"{temp} = {call_code}")
         for position, target in enumerate(stmt.targets):
@@ -751,7 +757,7 @@ class _SrcEmitter:
             code = f"{self.helper('builtin1')}({expr.name!r})"
             return self._annotate(code, BOXED, expr)
         if kind is SymbolKind.USER_FUNCTION:
-            code = f"rt.call_user({expr.name!r}, 1)[0]"
+            code = f"{self.helper('call_user')}({expr.name!r}, 1)[0]"
             return self._annotate(code, BOXED, expr)
         info = self.dis.symbols.lookup(expr.name)
         current = (
@@ -759,7 +765,7 @@ class _SrcEmitter:
             if info is not None and info.assigned
             else "None"
         )
-        return f"rt.ambiguous_lookup({expr.name!r}, {current})", BOXED
+        return f"{self.helper('ambiguous_lookup')}({expr.name!r}, {current})", BOXED
 
     def _annotate(self, code: str, kind: str, expr: ast.Expr) -> tuple[str, str]:
         target = repr_of_type(self.ann.type_of(expr))
@@ -932,7 +938,7 @@ class _SrcEmitter:
         args = ", ".join(
             self.coerce(*self.gen(a), BOXED) for a in expr.args
         )
-        code = f"rt.call_user({expr.name!r}, 1{', ' + args if args else ''})[0]"
+        code = f"{self.helper('call_user')}({expr.name!r}, 1{', ' + args if args else ''})[0]"
         return self._annotate(code, BOXED, expr)
 
     def gen_index_load(self, expr: ast.Apply) -> tuple[str, str]:

@@ -65,6 +65,7 @@ class MajicSession:
         workers: int | None = None,
         trace: bool = False,
         metrics: bool = False,
+        fusion: bool = True,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -88,8 +89,16 @@ class MajicSession:
             if cache_dir is True:
                 cache_dir = DEFAULT_CACHE_DIR
             cache = RepositoryCache(cache_dir, fault_plan=fault_plan)
+        # fusion=False is the escape hatch disabling fused elementwise
+        # kernels in both consumers (JIT codegen and the interpreter's
+        # fast path); an explicit jit_options.fusion is respected.
+        resolved_jit = jit_options or platform.jit_options(self.ablation)
+        if not fusion:
+            from dataclasses import replace as _replace
+
+            resolved_jit = _replace(resolved_jit, fusion=False)
         self.repository = CodeRepository(
-            jit_options=jit_options or platform.jit_options(self.ablation),
+            jit_options=resolved_jit,
             src_options=src_options or platform.src_options(ablation=self.ablation),
             sink=self.sink,
             inline_enabled=inline_enabled,

@@ -138,12 +138,17 @@ def run_with_faults(
 
 def default_plans() -> dict[str, FaultPlan]:
     """The standard sweep: one compile-time and one runtime fault each,
-    against both tiers of the compiled path."""
+    against both tiers of the compiled path, plus faults in the fused
+    elementwise kernel compiler and the kernels it emits."""
+    from repro.faults.plan import SITE_KERNEL_COMPILE, SITE_KERNEL_RUN
+
     return {
         "jit-compile": FaultPlan.compile_fault(site="jit", hit=1),
         "spec-compile": FaultPlan.compile_fault(site="spec", hit=1),
         "runtime-hit1": FaultPlan.runtime_fault(helper="*", hit=1),
         "runtime-hit7": FaultPlan.runtime_fault(helper="*", hit=7),
+        "kernel-compile": FaultPlan.kernel_fault(site=SITE_KERNEL_COMPILE, hit=1),
+        "kernel-run": FaultPlan.kernel_fault(site=SITE_KERNEL_RUN, hit=1),
     }
 
 

@@ -28,6 +28,10 @@ SITE_WORKER = "worker"
 #: Persistent-cache sites: (de)serialization of compiled objects.
 SITE_CACHE_STORE = "cache.store"
 SITE_CACHE_LOAD = "cache.load"
+#: Fused-kernel sites: compilation of a fused elementwise kernel (inside
+#: JIT lowering) and its dispatch from generated code (``rt.kernel_*``).
+SITE_KERNEL_COMPILE = "kernel.compile"
+SITE_KERNEL_RUN = "kernel.run"
 #: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
 RT_PREFIX = "rt."
 RT_ANY = "rt.*"
@@ -113,6 +117,13 @@ class FaultPlan:
         cls, site: str = SITE_CACHE_STORE, hit: int = 1, seed: int = 0,
     ) -> "FaultPlan":
         """Fail the Nth cache (de)serialization."""
+        return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
+
+    @classmethod
+    def kernel_fault(
+        cls, site: str = SITE_KERNEL_RUN, hit: int = 1, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth fused-kernel compile or dispatch."""
         return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
 
     # ------------------------------------------------------------------

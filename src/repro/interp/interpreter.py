@@ -54,12 +54,18 @@ class Interpreter:
         function_lookup: FunctionLookup | None = None,
         sink: display.OutputSink | None = None,
         call_dispatcher: CallDispatcher | None = None,
+        fusion: bool = True,
     ):
         self.function_lookup = function_lookup or (lambda name: None)
         self.sink = sink if sink is not None else display.OutputSink()
         self.call_dispatcher = call_dispatcher
         # Statistics: rough operation counts, used by tests and reports.
         self.op_count = 0
+        # Fused-kernel fast path: per-node memo of matched fusion plans
+        # (repro.kernels).  Entries hold a strong reference to the expr
+        # so id() keys stay valid for the interpreter's lifetime.
+        self.fusion_enabled = fusion
+        self._fusion_plans: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Entry points
@@ -265,6 +271,10 @@ class Interpreter:
                 if left.bool_value():
                     return _bool(True)
                 return _bool(self.eval_expr(expr.right, env).bool_value())
+            if self.fusion_enabled:
+                fused = self._eval_fused(expr, env)
+                if fused is not None:
+                    return fused
             left = self.eval_expr(expr.left, env)
             right = self.eval_expr(expr.right, env)
             return self._BINOPS[expr.op](left, right)
@@ -296,6 +306,46 @@ class Interpreter:
                 return empty()
             return outputs[0]
         raise RuntimeMatlabError(f"cannot interpret {type(expr).__name__}")
+
+    def _eval_fused(self, expr: ast.BinaryOp, env: Environment):
+        """Fused elementwise fast path (repro.kernels).
+
+        Routes a structurally recognized operator tree through one cached
+        NumPy kernel — bit-identical to the ``mlf_*`` chain by
+        construction.  Returns ``None`` to fall back to the generic path
+        (unmatched tree, unbound/string leaf, or a ``*``/``/`` node whose
+        live operands need true matrix semantics).
+        """
+        from repro.kernels import KERNEL_CACHE, match_dynamic
+
+        entry = self._fusion_plans.get(id(expr))
+        if entry is None:
+            plan = match_dynamic(expr)
+            self._fusion_plans[id(expr)] = (expr, plan)
+        else:
+            plan = entry[1]
+        if plan is None:
+            return None
+        values = []
+        for leaf in plan.leaves:
+            if isinstance(leaf, ast.Ident):
+                value = env.get(leaf.name)
+                if value is None or value.is_string:
+                    return None
+            elif isinstance(leaf, ast.Number):
+                value = make_scalar(leaf.value)
+            else:
+                value = make_scalar(complex(0.0, leaf.value))
+            values.append(value)
+        if plan.has_matmul and not plan.runtime_ok(values):
+            return None
+        kernel = plan.kernel
+        if kernel is None:
+            kernel = KERNEL_CACHE.get_or_compile(
+                plan.root, ("b",) * len(values)
+            )
+            plan.kernel = kernel
+        return kernel.fn(*values)
 
     def _eval_ident(self, expr: ast.Ident, env: Environment) -> MxArray:
         value = env.get(expr.name)

@@ -1,0 +1,139 @@
+"""Process-wide content-addressed kernel cache.
+
+Kernels are addressed by a SHA-256 digest of the canonical tree encoding
+plus the operand descriptor vector (see :func:`repro.kernels.fusion.encode`)
+and a format version, so two textually different expressions with the same
+fused structure share one compiled function — across functions, sessions
+and both consumers (JIT and interpreter).
+
+Persistence: the JIT records every kernel a compiled object references in
+``CompiledObject.kernel_sources``; the disk-backed
+:class:`~repro.repository.cache.RepositoryCache` re-registers those
+sources through :meth:`KernelCache.register_source` when it revives an
+object in a fresh process, so ``rt.kernel_<hash>`` dispatch never misses
+for disk-cached code.
+
+Fault injection: the ``kernel.compile`` site fires inside
+:meth:`get_or_compile` (a miss during JIT lowering then aborts that
+compile, and the repository falls back to the interpreter); the
+``kernel.run`` site is checked by the ``rt`` dispatch shim in
+:mod:`repro.codegen.runtime_support`, where the guarded-deopt machinery
+absorbs it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+from repro.faults.plan import SITE_KERNEL_COMPILE
+from repro.kernels.codegen import compile_kernel, generate_source
+from repro.kernels.fusion import Node, encode
+
+#: Bumped whenever generated kernel code changes shape — keys (and thus
+#: the names embedded in persisted compiled objects) change with it.
+KERNEL_FORMAT_VERSION = 1
+
+
+@dataclass
+class CompiledKernel:
+    """One cached kernel: content key, source text, live function."""
+
+    name: str
+    key: str
+    source: str
+    fn: object
+
+
+def kernel_name(key: str) -> str:
+    digest = hashlib.sha256(
+        f"v{KERNEL_FORMAT_VERSION}:{key}".encode()
+    ).hexdigest()
+    return f"kernel_{digest[:16]}"
+
+
+class KernelCache:
+    """Thread-safe name → :class:`CompiledKernel` map with hit counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._kernels: dict[str, CompiledKernel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self,
+        root: Node,
+        descs: tuple,
+        fault_plan=None,
+        obs=None,
+    ) -> CompiledKernel:
+        """Return the kernel for ``(root, descs)``, compiling on miss."""
+        key = encode(root, descs)
+        name = kernel_name(key)
+        with self._lock:
+            kernel = self._kernels.get(name)
+            if kernel is not None:
+                self.hits += 1
+                hit = True
+            else:
+                self.misses += 1
+                hit = False
+        if obs is not None:
+            obs.record_kernel_cache(hit)
+        if hit:
+            return kernel
+        if fault_plan is not None:
+            fault_plan.check(SITE_KERNEL_COMPILE, name)
+        source = generate_source(name, root, descs)
+        kernel = CompiledKernel(
+            name=name, key=key, source=source, fn=compile_kernel(name, source)
+        )
+        with self._lock:
+            # A racing compile of the same tree is harmless: both
+            # functions are identical, first one in wins.
+            kernel = self._kernels.setdefault(name, kernel)
+        return kernel
+
+    # ------------------------------------------------------------------
+    def lookup(self, name: str) -> CompiledKernel | None:
+        with self._lock:
+            return self._kernels.get(name)
+
+    def register_source(self, name: str, source: str) -> None:
+        """Revive a kernel from persisted source (disk-cache load path)."""
+        with self._lock:
+            if name in self._kernels:
+                return
+        kernel = CompiledKernel(
+            name=name, key="", source=source, fn=compile_kernel(name, source)
+        )
+        with self._lock:
+            self._kernels.setdefault(name, kernel)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "kernels": len(self._kernels),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Testing hook: drop every kernel and reset counters."""
+        with self._lock:
+            self._kernels.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: The process-wide cache both consumers share.
+KERNEL_CACHE = KernelCache()

@@ -126,6 +126,19 @@ class Observability:
             "majic_speculation_queue_depth",
             "Background compiles queued or in flight.",
         )
+        self._kernel_hits = registry.counter(
+            "majic_kernel_cache_hits_total",
+            "Fused elementwise kernel cache hits.",
+        )
+        self._kernel_misses = registry.counter(
+            "majic_kernel_cache_misses_total",
+            "Fused elementwise kernel cache misses (kernel compiles).",
+        )
+        self._kernel_run_seconds = registry.histogram(
+            "majic_kernel_run_seconds",
+            "Per-call latency of fused elementwise kernels.",
+            labelnames=("kernel",),
+        )
 
     # ------------------------------------------------------------------
     # Hot-path helpers (no-ops when metrics are disabled)
@@ -151,6 +164,16 @@ class Observability:
         if not self.metrics.enabled:
             return
         self._cache_requests.inc(result=result)
+
+    def record_kernel_cache(self, hit: bool) -> None:
+        if not self.metrics.enabled:
+            return
+        (self._kernel_hits if hit else self._kernel_misses).inc()
+
+    def record_kernel_run(self, kernel: str, seconds: float) -> None:
+        if not self.metrics.enabled:
+            return
+        self._kernel_run_seconds.observe(seconds, kernel=kernel)
 
     def set_queue_depth(self, depth: int) -> None:
         if not self.metrics.enabled:

@@ -115,6 +115,14 @@ def deserialize_object(payload: bytes) -> CompiledObject:
     code = compile(obj.emitted.source, f"<cache:{obj.name}>", "exec")
     exec(code, namespace)
     obj.emitted.callable = namespace[obj.emitted.name]
+    # Revive any fused kernels the emitted code references so the
+    # ``rt.kernel_<hash>`` dispatch never misses in a fresh process.
+    kernel_sources = getattr(obj, "kernel_sources", None)
+    if kernel_sources:
+        from repro.kernels.cache import KERNEL_CACHE
+
+        for kernel, source in kernel_sources.items():
+            KERNEL_CACHE.register_source(kernel, source)
     return obj
 
 

@@ -200,9 +200,11 @@ class CodeRepository:
             function_lookup=self.lookup_function,
             sink=self.sink,
             call_dispatcher=self._interp_dispatch,
+            fusion=self.jit_options.fusion,
         )
         self._rt = RuntimeSupport(
-            call_user=self._call_user, sink=self.sink, fault_plan=fault_plan
+            call_user=self._call_user, sink=self.sink, fault_plan=fault_plan,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -511,6 +513,7 @@ class CodeRepository:
                 self.jit_options,
                 fault_plan=self.fault_plan,
                 tracer=self.obs.tracer,
+                obs=self.obs,
             )
             start = time.perf_counter()
             obj = compiler.compile(

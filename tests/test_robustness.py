@@ -233,14 +233,25 @@ class TestDifferentialHarness:
         """Acceptance: benchsuite programs under injected compile- and
         run-time faults match the pure interpreter exactly, and the
         session records the corresponding events."""
-        outcomes = run_differential(names=["fibonacci", "dirich"])
+        outcomes = run_differential(names=["fibonacci", "dirich", "sor"])
         assert outcomes and all(o.matches for o in outcomes)
+        kernel_fired = 0
         for outcome in outcomes:
+            if outcome.plan.startswith("kernel"):
+                # Kernel sites exist only where the matcher fuses a tree
+                # (sor does; fibonacci/dirich have no elementwise chains).
+                kernel_fired += outcome.faults_fired
+                if outcome.faults_fired:
+                    key = (COMPILE_FAILURE if outcome.plan == "kernel-compile"
+                           else DEOPT)
+                    assert outcome.events.get(key, 0) >= 1
+                continue
             assert outcome.faults_fired >= 1
             if outcome.plan.startswith("runtime"):
                 assert outcome.events.get(DEOPT, 0) >= 1
             else:
                 assert outcome.events.get(COMPILE_FAILURE, 0) >= 1
+        assert kernel_fired >= 1
 
 
 class TestInterpreterFallbackPaths:
