@@ -1,0 +1,241 @@
+"""Record the supervision-tier baseline (BENCH_resilience.json).
+
+Two questions, answered with numbers:
+
+1. **Recovery latency** — when a fault fires, how long until the session
+   is serving correct results again?  Measured per mechanism: watchdog
+   cancellation of a hung run and a hung compile, sandbox absorption of a
+   crash, dead-worker restart, and corrupt-cache quarantine-and-rebuild.
+2. **Supervision overhead** — with no faults firing, what does the armed
+   supervision tier cost on the hot call path?  Measured as the ratio of
+   a call-heavy workload under (a) the default policy (compile watchdog
+   armed), (b) a fully armed policy (run watchdog too) and (c) everything
+   disarmed.  The acceptance bar is ≤5% on (a) versus (c).
+
+Usage::
+
+    PYTHONPATH=src python scripts_bench_resilience.py [--repeats N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import shutil
+import tempfile
+import time
+
+from repro import MajicSession
+from repro.faults.plan import (
+    BEHAVIOR_CRASH,
+    BEHAVIOR_HANG,
+    FaultPlan,
+    FaultSpec,
+    SITE_CRASH,
+    SITE_HANG,
+    SITE_JIT,
+)
+from repro.resilience import ResiliencePolicy
+
+POLY = """
+function p = poly(x)
+p = x.^5 + 3*x + 2;
+"""
+
+STEP = """
+function y = step(x)
+y = poly(x) + poly(x + 1) - poly(x - 1);
+"""
+
+CALLS = 3000
+
+#: Short deadlines so the recorded latencies measure the *machinery*
+#: (detection + cancellation + interpreter re-execution), not the wait.
+RUN_DEADLINE = 0.1
+COMPILE_DEADLINE = 0.1
+SANDBOX_TIMEOUT = 10.0
+
+
+def _measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def watchdog_run_recovery() -> float:
+    """Hung compiled run -> watchdog cancel -> interpreter result."""
+    plan = FaultPlan([FaultSpec(site=SITE_HANG, hits=(1,), behavior=BEHAVIOR_HANG)])
+    session = MajicSession(fault_plan=plan, run_deadline=RUN_DEADLINE)
+    session.add_source(POLY)
+    try:
+        elapsed = _measure(lambda: session.call("poly", 3.0))
+        assert session.stats.deopts == 1
+        return elapsed - RUN_DEADLINE  # machinery cost past the deadline
+    finally:
+        session.close()
+
+
+def watchdog_compile_recovery() -> float:
+    """Hung compile -> watchdog cancel -> interpreter result."""
+    plan = FaultPlan([FaultSpec(site=SITE_JIT, hits=(1,), behavior=BEHAVIOR_HANG)])
+    session = MajicSession(fault_plan=plan, compile_deadline=COMPILE_DEADLINE)
+    session.add_source(POLY)
+    try:
+        elapsed = _measure(lambda: session.call("poly", 3.0))
+        assert session.stats.compile_failures == 1
+        return elapsed - COMPILE_DEADLINE
+    finally:
+        session.close()
+
+
+def sandbox_crash_recovery() -> float:
+    """Crashing first run -> sandbox dies -> deopt -> interpreter result."""
+    plan = FaultPlan([FaultSpec(site=SITE_CRASH, hits=(1,), behavior=BEHAVIOR_CRASH)])
+    session = MajicSession(
+        fault_plan=plan, sandbox=True, sandbox_timeout=SANDBOX_TIMEOUT
+    )
+    session.add_source(POLY)
+    try:
+        elapsed = _measure(lambda: session.call("poly", 3.0))
+        assert session.stats.deopts == 1
+        return elapsed
+    finally:
+        session.close()
+
+
+def sandbox_trial_cost() -> float:
+    """One clean supervised first run (fork + pipe round trip)."""
+    session = MajicSession(sandbox=True, sandbox_timeout=SANDBOX_TIMEOUT)
+    session.add_source(POLY)
+    try:
+        return _measure(lambda: session.call("poly", 3.0))
+    finally:
+        session.close()
+
+
+def worker_restart_latency() -> float:
+    """Worker killed by its task -> supervisor respawn -> compile lands."""
+    plan = FaultPlan([FaultSpec(site="worker", hits=(1,), behavior=BEHAVIOR_CRASH)])
+    policy = ResiliencePolicy(worker_restart_backoff=0.01)
+    session = MajicSession(
+        fault_plan=plan, background=True, workers=1, resilience=policy
+    )
+    session.add_source(POLY)
+    try:
+        start = time.perf_counter()
+        session.speculate_async()
+        drained = session.drain_speculation(timeout=30)
+        elapsed = time.perf_counter() - start
+        assert drained and session.engine.restarts >= 1
+        assert "poly" in session.engine.compiled
+        return elapsed
+    finally:
+        session.close()
+
+
+def cache_rebuild_latency() -> float:
+    """Corrupt entry detected -> quarantined -> recompiled -> re-persisted."""
+    tmpdir = tempfile.mkdtemp(prefix="majic-bench-resilience-")
+    try:
+        warm = MajicSession(cache_dir=tmpdir)
+        warm.add_source(POLY)
+        warm.call("poly", 3.0)
+        warm.close()
+        plan = FaultPlan.chaos_fault("cache.corrupt")
+        session = MajicSession(cache_dir=tmpdir, fault_plan=plan)
+        session.add_source(POLY)
+        try:
+            elapsed = _measure(lambda: session.call("poly", 3.0))
+            cache = session.repository.cache
+            assert cache.corruption_detected == 1 and cache.rebuilds == 1
+            return elapsed
+        finally:
+            session.close()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def hot_path(policy_kwargs: dict) -> float:
+    """Wall time of the call-heavy workload under one supervision policy
+    (compiles excluded: this measures the per-call cost)."""
+    session = MajicSession(inline_enabled=False, **policy_kwargs)
+    session.add_source(POLY)
+    session.add_source(STEP)
+    try:
+        session.call("step", 1.0)  # warm: compile outside the window
+        start = time.perf_counter()
+        for k in range(CALLS):
+            session.call("step", float(k % 17))
+        return time.perf_counter() - start
+    finally:
+        session.close()
+
+
+def best_of(repeats: int, fn, *args) -> float:
+    return min(fn(*args) for _ in range(repeats))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_resilience.json")
+    options = parser.parse_args(argv)
+    repeats = options.repeats
+
+    disarmed = ResiliencePolicy(compile_deadline=None)
+    armed = ResiliencePolicy(run_deadline=30.0)
+    off = best_of(repeats, hot_path, {"resilience": disarmed})
+    default = best_of(repeats, hot_path, {})
+    full = best_of(repeats, hot_path, {"resilience": armed})
+
+    result = {
+        "description": "Supervision-tier recovery latencies (seconds past "
+                       "the armed deadline where one applies) and no-fault "
+                       "hot-path overhead ratios",
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+        "repeats": repeats,
+        "recovery": {
+            "watchdog_run_cancel_s": round(
+                best_of(repeats, watchdog_run_recovery), 6
+            ),
+            "watchdog_compile_cancel_s": round(
+                best_of(repeats, watchdog_compile_recovery), 6
+            ),
+            "sandbox_crash_recovery_s": round(
+                best_of(repeats, sandbox_crash_recovery), 6
+            ),
+            "sandbox_clean_trial_s": round(
+                best_of(repeats, sandbox_trial_cost), 6
+            ),
+            "worker_restart_drain_s": round(
+                best_of(repeats, worker_restart_latency), 6
+            ),
+            "cache_corrupt_rebuild_s": round(
+                best_of(repeats, cache_rebuild_latency), 6
+            ),
+        },
+        "overhead": {
+            "workload": f"{CALLS} nested jit calls (step -> 3x poly), "
+                        f"best of {repeats}",
+            "disarmed_s": round(off, 6),
+            "default_policy_s": round(default, 6),
+            "run_watchdog_s": round(full, 6),
+            "default_overhead": round(default / off, 4),
+            "run_watchdog_overhead": round(full / off, 4),
+        },
+    }
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    overhead = result["overhead"]["default_overhead"]
+    if overhead > 1.05:
+        print(f"WARNING: default-policy overhead {overhead} exceeds 1.05")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.core.majic import MajicSession, ensure_recursion_limit
 from repro.core.platformcfg import AblationFlags, MIPS, SPARC, platform_by_name
 from repro.faults import FaultPlan, InjectedFault
 from repro.repository.repo import CompileBudget
+from repro.resilience import ResiliencePolicy
 
 __version__ = "1.0.0"
 
@@ -45,6 +46,7 @@ __all__ = [
     "CompileBudget",
     "FaultPlan",
     "InjectedFault",
+    "ResiliencePolicy",
     "ensure_recursion_limit",
     "__version__",
 ]

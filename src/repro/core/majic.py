@@ -30,7 +30,11 @@ from repro.repository.cache import DEFAULT_CACHE_DIR, RepositoryCache
 from repro.repository.repo import CodeRepository, CompileBudget
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
+from repro.resilience import DEFAULT_POLICY, ResiliencePolicy
 from repro.runtime.values import from_python, to_python
+
+#: Sentinel distinguishing "not passed" from an explicit None (= disable).
+_UNSET = object()
 
 
 def ensure_recursion_limit(limit: int) -> None:
@@ -66,6 +70,12 @@ class MajicSession:
         trace: bool = False,
         metrics: bool = False,
         fusion: bool = True,
+        resilience=None,
+        sandbox: bool | None = None,
+        run_deadline: float | None = None,
+        compile_deadline: float | object = _UNSET,
+        sandbox_timeout: float | None = None,
+        diagnostics_capacity: int | None = None,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -77,6 +87,23 @@ class MajicSession:
             recursion_limit = platform.host_recursion_limit
         ensure_recursion_limit(recursion_limit)
         self.sink = OutputSink()
+        # Supervision policy (repro.resilience): a ResiliencePolicy, with
+        # the common knobs liftable as direct kwargs (sandbox=True,
+        # run_deadline=..., compile_deadline=...; an explicit
+        # compile_deadline=None disarms the compile watchdog).
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        overrides = {}
+        if sandbox is not None:
+            overrides["sandbox"] = bool(sandbox)
+        if run_deadline is not None:
+            overrides["run_deadline"] = run_deadline
+        if compile_deadline is not _UNSET:
+            overrides["compile_deadline"] = compile_deadline
+        if sandbox_timeout is not None:
+            overrides["sandbox_timeout"] = sandbox_timeout
+        if overrides:
+            policy = policy.with_overrides(**overrides)
+        self.resilience: ResiliencePolicy = policy
         # Observability: a per-session switchboard (null recorders unless
         # trace/metrics asked for them), shared by the repository, the
         # compilers it constructs and the background workers.
@@ -88,7 +115,12 @@ class MajicSession:
         if cache_dir:
             if cache_dir is True:
                 cache_dir = DEFAULT_CACHE_DIR
-            cache = RepositoryCache(cache_dir, fault_plan=fault_plan)
+            cache = RepositoryCache(
+                cache_dir,
+                fault_plan=fault_plan,
+                io_retries=policy.cache_io_retries,
+                io_backoff=policy.cache_io_backoff,
+            )
         # fusion=False is the escape hatch disabling fused elementwise
         # kernels in both consumers (JIT codegen and the interpreter's
         # fast path); an explicit jit_options.fusion is respected.
@@ -107,6 +139,8 @@ class MajicSession:
             fault_plan=fault_plan,
             cache=cache,
             obs=self.obs,
+            resilience=policy,
+            diagnostics_capacity=diagnostics_capacity,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
         # Background speculation: a daemon worker pool (lazily started by
@@ -114,12 +148,14 @@ class MajicSession:
         self._workers = workers or platform.speculation_workers
         self._fault_plan = fault_plan
         self.engine: SpeculationEngine | None = None
+        self._closed = False
         if background:
             self.engine = SpeculationEngine(
                 self.repository,
                 workers=self._workers,
                 fault_plan=fault_plan,
                 obs=self.obs,
+                policy=policy,
             )
         if seed is not None:
             GLOBAL_RANDOM.seed(seed)
@@ -168,6 +204,7 @@ class MajicSession:
                 workers=self._workers,
                 fault_plan=self._fault_plan,
                 obs=self.obs,
+                policy=self.resilience,
             )
         tracer = self.obs.tracer
         if not tracer.enabled:
@@ -184,10 +221,31 @@ class MajicSession:
         return True if self.engine is None else self.engine.drain(timeout)
 
     def close(self) -> None:
-        """Stop the background workers (if any); idempotent."""
+        """Tear the session down; idempotent.
+
+        Stops the background workers and their supervisor, disarms the
+        repository's watchdog deadlines (no registrations leak into the
+        process-wide monitor after close) and disables the sandbox tier.
+        A closed session can still evaluate code — it simply runs without
+        supervision or background compilation.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self.engine is not None:
             self.engine.shutdown()
             self.engine = None
+        repo = self.repository
+        guard = getattr(repo, "guard", None)
+        if guard is not None:
+            guard.compile_deadline = None
+            guard.run_deadline = None
+        repo._run_guard_enabled = False
+        repo.sandbox = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self):
         return self

@@ -18,8 +18,14 @@ from repro.faults.plan import (
     FiredFault,
     InjectedFault,
     RT_ANY,
+    SITE_CACHE_CORRUPT,
+    SITE_CACHE_PARTIAL,
+    SITE_CRASH,
+    SITE_HANG,
     SITE_JIT,
+    SITE_OOM,
     SITE_SPEC,
+    SimulatedCrash,
 )
 
 __all__ = [
@@ -27,7 +33,13 @@ __all__ = [
     "FaultSpec",
     "FiredFault",
     "InjectedFault",
+    "SimulatedCrash",
     "RT_ANY",
     "SITE_JIT",
     "SITE_SPEC",
+    "SITE_HANG",
+    "SITE_CRASH",
+    "SITE_OOM",
+    "SITE_CACHE_CORRUPT",
+    "SITE_CACHE_PARTIAL",
 ]

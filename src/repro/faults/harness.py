@@ -14,21 +14,43 @@ dying worker, a compiler crash off-thread, a poisoned cache store — must
 neither change results nor deadlock the work queue (every drain is
 bounded and asserted).
 
+The **chaos sweep** (``--chaos``) exercises the supervision tier
+(:mod:`repro.resilience`): injected hangs cancelled by the watchdog,
+crashes and OOM kills absorbed by the sandbox trial, corrupted and torn
+cache entries healed by quarantine-and-rebuild.  Same contract — every
+run must stay bit-identical to the interpreter, because every recovery
+path ends in interpreter re-execution.
+
 Usage::
 
     PYTHONPATH=src python -m repro.faults.harness               # full sweep
     PYTHONPATH=src python -m repro.faults.harness --smoke       # CI subset
     PYTHONPATH=src python -m repro.faults.harness --background  # worker sweep
+    PYTHONPATH=src python -m repro.faults.harness --chaos       # chaos sweep
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.benchsuite.registry import benchmark, benchmark_names, source_of
 from repro.benchsuite.workloads import boxed_workload, checksum
 from repro.core.majic import MajicSession, ensure_recursion_limit
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    BEHAVIOR_CRASH,
+    BEHAVIOR_HANG,
+    BEHAVIOR_OOM,
+    FaultPlan,
+    FaultSpec,
+    SITE_CACHE_CORRUPT,
+    SITE_CACHE_PARTIAL,
+    SITE_CRASH,
+    SITE_HANG,
+    SITE_JIT,
+    SITE_OOM,
+)
 from repro.frontend.parser import parse
 from repro.interp.interpreter import Interpreter
 from repro.runtime.builtins import GLOBAL_RANDOM
@@ -105,6 +127,7 @@ def run_with_faults(
     background: bool = False,
     trace: bool = False,
     metrics: bool = False,
+    **session_kwargs,
 ) -> tuple[float, MajicSession]:
     """Checksum of one benchmark under a (possibly faulted) session.
 
@@ -112,6 +135,9 @@ def run_with_faults(
     pool: faults then fire *inside worker threads*, and the bounded drain
     doubles as the no-deadlock assertion.  ``trace``/``metrics`` switch
     the session's observability recorders on (exported by ``main``).
+    Extra keyword arguments pass through to :class:`MajicSession` — the
+    chaos sweep uses this for ``sandbox``, ``run_deadline``,
+    ``compile_deadline`` and ``cache_dir``.
     """
     session = MajicSession(
         seed=None,
@@ -119,6 +145,7 @@ def run_with_faults(
         background=background,
         trace=trace,
         metrics=metrics,
+        **session_kwargs,
     )
     for text in _sources(name):
         session.add_source(text)
@@ -161,6 +188,102 @@ def background_plans() -> dict[str, FaultPlan]:
         "spec-in-worker": FaultPlan.compile_fault(site="spec", hit=1),
         "runtime-hit1": FaultPlan.runtime_fault(helper="*", hit=1),
     }
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One supervision fault schedule plus the session knobs that arm the
+    matching recovery mechanism."""
+
+    label: str
+    specs: tuple[FaultSpec, ...]
+    session_kwargs: dict = field(default_factory=dict)
+    #: Pre-populate a disk cache with a clean pass so the faulted session
+    #: has entries to corrupt.
+    warm_cache: bool = False
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan(list(self.specs))
+
+
+def chaos_scenarios() -> list[ChaosScenario]:
+    """The chaos sweep: hang/crash/oom/corruption against every recovery
+    tier.  Deadlines are short so the 64-run sweep stays CI-sized."""
+    return [
+        ChaosScenario(
+            label="hang-run",
+            specs=(FaultSpec(site=SITE_HANG, hits=(1,), behavior=BEHAVIOR_HANG),),
+            session_kwargs={"run_deadline": 0.25},
+        ),
+        ChaosScenario(
+            label="hang-compile",
+            specs=(FaultSpec(site=SITE_JIT, hits=(1,), behavior=BEHAVIOR_HANG),),
+            session_kwargs={"compile_deadline": 0.25},
+        ),
+        ChaosScenario(
+            label="sandbox-crash-oom",
+            specs=(
+                FaultSpec(site=SITE_CRASH, hits=(1,), behavior=BEHAVIOR_CRASH),
+                FaultSpec(site=SITE_OOM, hits=(2,), behavior=BEHAVIOR_OOM),
+            ),
+            session_kwargs={"sandbox": True, "sandbox_timeout": 15.0},
+        ),
+        ChaosScenario(
+            label="cache-corrupt",
+            specs=(
+                FaultSpec(site=SITE_CACHE_CORRUPT, hits=(1,)),
+                FaultSpec(site=SITE_CACHE_PARTIAL, hits=(1,)),
+            ),
+            warm_cache=True,
+        ),
+    ]
+
+
+def run_chaos(
+    names: list[str] | None = None,
+    scales: dict[str, tuple] | None = None,
+) -> list[DifferentialOutcome]:
+    """The chaos sweep: every benchmark × every supervision scenario,
+    asserted bit-identical against the pure interpreter."""
+    names = names or benchmark_names()
+    scales = scales or SMALL_SCALES
+    outcomes: list[DifferentialOutcome] = []
+    for name in names:
+        baseline = interpreter_baseline(name, scales.get(name))
+        for scenario in chaos_scenarios():
+            plan = scenario.plan()
+            kwargs = dict(scenario.session_kwargs)
+            tmpdir = None
+            if scenario.warm_cache:
+                tmpdir = tempfile.mkdtemp(prefix="majic-chaos-")
+                run_with_faults(
+                    name, None, scales.get(name), speculate=True,
+                    cache_dir=tmpdir,
+                )
+                kwargs["cache_dir"] = tmpdir
+            try:
+                faulted, session = run_with_faults(
+                    name,
+                    plan,
+                    scales.get(name),
+                    speculate=scenario.warm_cache,
+                    **kwargs,
+                )
+            finally:
+                if tmpdir is not None:
+                    shutil.rmtree(tmpdir, ignore_errors=True)
+            outcomes.append(
+                DifferentialOutcome(
+                    benchmark=name,
+                    plan=scenario.label,
+                    matches=(faulted == baseline),
+                    baseline=baseline,
+                    faulted=faulted,
+                    faults_fired=len(plan.fired),
+                    events=session.diagnostics.counts(),
+                )
+            )
+    return outcomes
 
 
 def run_differential(
@@ -214,6 +337,16 @@ def main(argv: list[str] | None = None) -> int:
         help="route speculation through the worker pool and inject "
              "faults inside worker threads",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the supervision chaos sweep (hang/crash/oom/cache "
+             "corruption against the watchdog, sandbox and self-healing "
+             "cache)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the sweep outcomes as JSON (CI artifact)",
+    )
     parser.add_argument("--benchmarks", nargs="*", default=None)
     parser.add_argument(
         "--trace", action="store_true",
@@ -236,7 +369,10 @@ def main(argv: list[str] | None = None) -> int:
     names = options.benchmarks
     if names is None and options.smoke:
         names = ["fibonacci", "dirich", "cgopt", "fractal"]
-    outcomes = run_differential(names=names, background=options.background)
+    if options.chaos:
+        outcomes = run_chaos(names=names)
+    else:
+        outcomes = run_differential(names=names, background=options.background)
     failures = 0
     for outcome in outcomes:
         print(outcome)
@@ -245,6 +381,29 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(outcomes) - failures}/{len(outcomes)} differential runs "
         f"bit-identical to the interpreter"
     )
+    if options.json_out:
+        import json
+
+        payload = {
+            "sweep": "chaos" if options.chaos else (
+                "background" if options.background else "default"
+            ),
+            "bit_identical": len(outcomes) - failures,
+            "total": len(outcomes),
+            "outcomes": [
+                {
+                    "benchmark": o.benchmark,
+                    "plan": o.plan,
+                    "matches": o.matches,
+                    "faults_fired": o.faults_fired,
+                    "events": o.events,
+                }
+                for o in outcomes
+            ],
+        }
+        with open(options.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"outcomes written to {options.json_out}")
     trace = options.trace or options.trace_out is not None
     metrics = options.metrics or options.metrics_out is not None
     if trace or metrics:

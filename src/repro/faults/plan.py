@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 
 #: Compile-time sites (checked at compiler entry).
@@ -32,13 +33,48 @@ SITE_CACHE_LOAD = "cache.load"
 #: JIT lowering) and its dispatch from generated code (``rt.kernel_*``).
 SITE_KERNEL_COMPILE = "kernel.compile"
 SITE_KERNEL_RUN = "kernel.run"
+#: Resilience (chaos) sites — see :mod:`repro.resilience`.  ``hang`` and
+#: ``oom`` are checked on the guarded run path of compiled objects and
+#: inside the sandbox trial child; ``crash`` only fires where a real
+#: process/thread death is survivable (the sandbox child and the
+#: background worker loop).
+SITE_HANG = "hang"
+SITE_CRASH = "crash"
+SITE_OOM = "oom"
+#: Self-healing cache sites: a corrupted entry read back from disk, and a
+#: torn (partial) write that bypasses the atomic-rename protocol.
+SITE_CACHE_CORRUPT = "cache.corrupt"
+SITE_CACHE_PARTIAL = "cache.partial_write"
 #: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
 RT_PREFIX = "rt."
 RT_ANY = "rt.*"
 
+#: FaultSpec behaviours (what happens when a spec fires).
+BEHAVIOR_RAISE = "raise"    # raise InjectedFault (the classic model)
+BEHAVIOR_HANG = "hang"      # busy-hang until cancelled by a watchdog
+BEHAVIOR_CRASH = "crash"    # raise SimulatedCrash (a BaseException)
+BEHAVIOR_OOM = "oom"        # raise MemoryError
+BEHAVIOR_IO = "io_error"    # raise OSError (a transient IO fault)
+BEHAVIOR_CORRUPT = "corrupt"  # mangle bytes passing through filter_bytes
+
+#: Upper bound on an injected hang: even with no watchdog armed, a hang
+#: degrades into a plain InjectedFault after this long, so an unguarded
+#: test run recovers instead of wedging forever.
+HANG_LIMIT_SECONDS = 15.0
+
 
 class InjectedFault(RuntimeError):
     """An artificial host-level failure (never a MatlabError)."""
+
+
+class SimulatedCrash(BaseException):
+    """An artificial process/thread death.
+
+    Deliberately a :class:`BaseException`: it must escape the ``except
+    Exception`` safety nets the way a real segfault or ``os._exit`` would,
+    so only supervised failure domains (the sandbox trial child, the
+    background worker loop) can absorb it.
+    """
 
 
 @dataclass(frozen=True)
@@ -48,13 +84,16 @@ class FaultSpec:
     ``hits`` selects explicit 1-based hit numbers of the site; when absent,
     ``probability`` draws a seeded coin per hit.  ``function`` restricts
     compile-time sites to a single function name (runtime helpers do not
-    know their caller, so the filter is ignored there).
+    know their caller, so the filter is ignored there).  ``behavior``
+    selects the failure mode: raise (default), hang, crash, oom, io_error
+    or corrupt — see the ``BEHAVIOR_*`` constants.
     """
 
     site: str
     hits: tuple[int, ...] | None = None
     probability: float | None = None
     function: str | None = None
+    behavior: str = BEHAVIOR_RAISE
 
     def __post_init__(self):
         if self.hits is None and self.probability is None:
@@ -68,6 +107,7 @@ class FiredFault:
     site: str
     function: str
     hit: int
+    behavior: str = BEHAVIOR_RAISE
 
 
 class FaultPlan:
@@ -126,6 +166,32 @@ class FaultPlan:
         """Fail the Nth fused-kernel compile or dispatch."""
         return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
 
+    @classmethod
+    def chaos_fault(
+        cls,
+        site: str,
+        behavior: str | None = None,
+        hit: int = 1,
+        function: str | None = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """One resilience fault: site + failure mode.  The behaviour
+        defaults to the site's natural mode (``hang`` hangs, ``crash``
+        crashes, ``oom`` raises MemoryError, cache sites corrupt/tear)."""
+        if behavior is None:
+            behavior = {
+                SITE_HANG: BEHAVIOR_HANG,
+                SITE_CRASH: BEHAVIOR_CRASH,
+                SITE_OOM: BEHAVIOR_OOM,
+                SITE_CACHE_CORRUPT: BEHAVIOR_CORRUPT,
+                SITE_CACHE_PARTIAL: BEHAVIOR_RAISE,
+            }.get(site, BEHAVIOR_RAISE)
+        return cls(
+            [FaultSpec(site=site, hits=(hit,), function=function,
+                       behavior=behavior)],
+            seed=seed,
+        )
+
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Rewind hit counters and the seeded stream for exact replay."""
@@ -143,33 +209,88 @@ class FaultPlan:
         ]
 
     # ------------------------------------------------------------------
+    def _tally(self, site: str, function: str) -> FiredFault | None:
+        """Count one hit of ``site`` and return the fired record, if any.
+        Must run under the lock; the behaviour itself executes outside it
+        (a hang must not wedge every other thread's fault checks)."""
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.function is not None and function and spec.function != function:
+                continue
+            if spec.hits is not None:
+                fire = hit in spec.hits
+            else:
+                fire = self._rng.random() < (spec.probability or 0.0)
+            if fire:
+                record = FiredFault(
+                    site=site, function=function, hit=hit,
+                    behavior=spec.behavior,
+                )
+                self.fired.append(record)
+                return record
+        return None
+
     def check(self, site: str, function: str = "") -> None:
-        """Count one hit of ``site``; raise :class:`InjectedFault` if any
-        spec schedules a failure for this hit."""
+        """Count one hit of ``site``; execute the scheduled failure
+        behaviour (raise/hang/crash/oom/io_error) if any spec fires."""
         with self._lock:
-            hit = self._hits.get(site, 0) + 1
-            self._hits[site] = hit
-            fire = False
-            for spec in self.specs:
-                if spec.site != site:
-                    continue
-                if spec.function is not None and function and spec.function != function:
-                    continue
-                if spec.hits is not None:
-                    fire = hit in spec.hits
-                else:
-                    fire = self._rng.random() < (spec.probability or 0.0)
-                if fire:
-                    self.fired.append(
-                        FiredFault(site=site, function=function, hit=hit)
-                    )
-                    break
-        if fire:
-            raise InjectedFault(
-                f"injected fault at {site}"
-                + (f" in '{function}'" if function else "")
-                + f" (hit {hit})"
-            )
+            record = self._tally(site, function)
+        if record is None:
+            return
+        message = (
+            f"injected fault at {site}"
+            + (f" in '{function}'" if function else "")
+            + f" (hit {record.hit})"
+        )
+        behavior = record.behavior
+        if behavior == BEHAVIOR_HANG:
+            # Busy loop with short sleeps: every iteration is a bytecode
+            # boundary, so a watchdog's asynchronous DeadlineExceeded
+            # lands within ~1ms.  Bounded so an unguarded run eventually
+            # degrades into a plain absorbable fault.
+            end = time.monotonic() + HANG_LIMIT_SECONDS
+            while time.monotonic() < end:
+                time.sleep(0.0005)
+            raise InjectedFault(message + " [hang expired unguarded]")
+        if behavior == BEHAVIOR_CRASH:
+            raise SimulatedCrash(message)
+        if behavior == BEHAVIOR_OOM:
+            raise MemoryError(message)
+        if behavior == BEHAVIOR_IO:
+            raise OSError(message)
+        raise InjectedFault(message)
+
+    def fires(self, site: str, function: str = "") -> bool:
+        """Count one hit of ``site``; report (not raise) whether a spec
+        fired.  Sites whose failure mode is enacted by the caller — e.g.
+        a torn cache write — use this instead of :meth:`check`."""
+        with self._lock:
+            return self._tally(site, function) is not None
+
+    def filter_bytes(self, site: str, function: str, payload: bytes) -> bytes:
+        """Count one hit of ``site``; return ``payload`` mangled if a spec
+        fired (the ``cache.corrupt`` model: bytes read back from disk are
+        not the bytes written)."""
+        with self._lock:
+            record = self._tally(site, function)
+        if record is None:
+            return payload
+        mutated = bytearray(payload)
+        mid = len(mutated) // 2
+        for index in range(mid, min(mid + 16, len(mutated))):
+            mutated[index] ^= 0xFF
+        if not mutated:
+            mutated = bytearray(b"\xff")
+        return bytes(mutated)
+
+    def absorb_fired(self, records) -> None:
+        """Merge fired-fault records reported by another process (the
+        sandbox trial child) into this plan's tally."""
+        with self._lock:
+            self.fired.extend(records)
 
     def hit_count(self, site: str) -> int:
         with self._lock:

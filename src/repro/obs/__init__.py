@@ -139,6 +139,27 @@ class Observability:
             "Per-call latency of fused elementwise kernels.",
             labelnames=("kernel",),
         )
+        # Resilience counters: dedicated first-class metrics (the labelled
+        # majic_events_total stream still carries every kind; these exist
+        # so dashboards can alert without label arithmetic).
+        self._deopts = registry.counter(
+            "majic_deopt_total",
+            "Guarded deoptimizations (compiled run fell back to the "
+            "interpreter).",
+        )
+        self._quarantines = registry.counter(
+            "majic_quarantine_total",
+            "Functions demoted to interpreter-only after repeated strikes.",
+        )
+        self._worker_restarts = registry.counter(
+            "majic_worker_restarts_total",
+            "Dead speculation workers respawned by the supervisor.",
+        )
+        self._watchdog_timeouts = registry.counter(
+            "majic_watchdog_timeouts_total",
+            "Watchdog deadline cancellations by operation kind.",
+            labelnames=("kind",),
+        )
 
     # ------------------------------------------------------------------
     # Hot-path helpers (no-ops when metrics are disabled)
@@ -180,6 +201,16 @@ class Observability:
             return
         self._queue_depth.labels().set(depth)
 
+    def record_worker_restart(self) -> None:
+        if not self.metrics.enabled:
+            return
+        self._worker_restarts.inc()
+
+    def record_watchdog_timeout(self, kind: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._watchdog_timeouts.inc(kind=kind)
+
     # ------------------------------------------------------------------
     # Diagnostics bridge
     # ------------------------------------------------------------------
@@ -194,6 +225,10 @@ class Observability:
     def _on_diagnostic(self, event) -> None:
         if self.metrics.enabled:
             self._events.inc(kind=event.kind)
+            if event.kind == "deopt":
+                self._deopts.inc()
+            elif event.kind == "quarantine":
+                self._quarantines.inc()
         tracer = self.tracer
         if tracer.enabled:
             tracer.instant(

@@ -22,6 +22,25 @@ Lifecycle of one work item
   and recorded; the function simply stays interpreter/JIT-served.  A
   worker can fail, the queue cannot deadlock.
 
+Supervision
+-----------
+Workers are *supervised* (``repro.resilience``): each dequeue stamps a
+heartbeat, and a dedicated supervisor thread
+
+* **restarts dead workers** — a :class:`~repro.faults.plan.SimulatedCrash`
+  (or any ``BaseException``) kills the worker thread; the supervisor
+  respawns it with exponential backoff, up to
+  ``policy.worker_max_restarts`` total, then degrades the engine to
+  foreground-only compilation (the queue is flushed so :meth:`drain`
+  stays bounded);
+* **requeues the victim's task** with an attempt counter; a task that has
+  killed ``policy.worker_max_task_retries + 1`` workers is quarantined as
+  **poison** rather than retried forever;
+* **cancels hung workers** — a heartbeat older than
+  ``policy.worker_heartbeat_timeout`` gets a
+  :class:`~repro.resilience.DeadlineExceeded` injected, which the worker
+  absorbs as an ordinary failed compile and lives on.
+
 The foreground can :meth:`drain` (bounded wait for quiet), poll
 :meth:`pending`, or simply keep calling functions: an invocation arriving
 before its speculative version lands falls through to the JIT compiler or
@@ -36,7 +55,14 @@ import threading
 import time
 
 from repro.obs import DISABLED as DISABLED_OBS
-from repro.repository.diagnostics import COMPILE_FAILURE, SPECULATE_ASYNC
+from repro.repository.diagnostics import (
+    COMPILE_FAILURE,
+    POISON_TASK,
+    SPECULATE_ASYNC,
+    WATCHDOG_TIMEOUT,
+    WORKER_RESTART,
+)
+from repro.resilience.watchdog import DeadlineExceeded, async_raise
 
 _STOP = object()
 
@@ -54,11 +80,17 @@ class SpeculationEngine:
         workers: int = DEFAULT_WORKERS,
         fault_plan=None,
         obs=None,
+        policy=None,
     ):
         if workers < 1:
             raise ValueError("SpeculationEngine needs at least one worker")
+        if policy is None:
+            from repro.resilience import DEFAULT_POLICY
+
+            policy = DEFAULT_POLICY
         self.repository = repository
         self.fault_plan = fault_plan
+        self.policy = policy
         # Observability: default to the repository's switchboard so the
         # workers and the foreground share one tracer/registry.
         if obs is None:
@@ -75,14 +107,31 @@ class SpeculationEngine:
         self.compiled: list[str] = []
         self.failed: list[str] = []
         self.cancelled: list[str] = []
-        self._threads = [
-            threading.Thread(
-                target=self._worker, name=f"majic-spec-{index}", daemon=True
-            )
-            for index in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self.poisoned: list[str] = []
+        # Supervision state: heartbeats, live work, restart bookkeeping.
+        self.restarts = 0
+        self.degraded = False
+        self._hearts: dict[int, float] = {}
+        self._idents: dict[int, int] = {}
+        self._current: dict[int, tuple] = {}
+        self._restart_counts: dict[int, int] = {}
+        self._next_restart: dict[int, float] = {}
+        self._threads: dict[int, threading.Thread] = {}
+        for index in range(workers):
+            self._threads[index] = self._spawn(index)
+        self._stop_supervisor = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="majic-spec-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker, args=(index,),
+            name=f"majic-spec-{index}", daemon=True,
+        )
+        thread.start()
+        return thread
 
     # ------------------------------------------------------------------
     # Submission
@@ -96,7 +145,7 @@ class SpeculationEngine:
         """
         generation = self.repository.generation_of(name)
         with self._lock:
-            if self._shutdown:
+            if self._shutdown or self.degraded:
                 return False
             if self._queued.get(name) == generation:
                 return False
@@ -147,11 +196,13 @@ class SpeculationEngine:
         """Stop accepting work and (optionally) join the workers."""
         with self._lock:
             self._shutdown = True
+        self._stop_supervisor.set()
         for _ in self._threads:
             self._queue.put(_STOP)
         if wait:
-            for thread in self._threads:
+            for thread in self._threads.values():
                 thread.join(timeout=10)
+            self._supervisor.join(timeout=10)
 
     def __enter__(self):
         return self
@@ -162,24 +213,44 @@ class SpeculationEngine:
     # ------------------------------------------------------------------
     # The worker loop
     # ------------------------------------------------------------------
-    def _worker(self) -> None:
+    @staticmethod
+    def _unpack(item):
+        # Items are (name, generation, parent-span, attempts); tolerate
+        # shorter tuples for direct queue injection in tests.
+        name, generation, *rest = item
+        parent = rest[0] if rest else None
+        attempts = rest[1] if len(rest) > 1 else 0
+        return name, generation, parent, attempts
+
+    def _worker(self, index: int = 0) -> None:
         repo = self.repository
+        with self._lock:
+            self._idents[index] = threading.get_ident()
         while True:
             item = self._queue.get()
             if item is _STOP:
                 return
-            # Items are (name, generation, parent-span); tolerate bare
-            # (name, generation) pairs for direct queue injection.
-            name, generation, *rest = item
-            parent = rest[0] if rest else None
+            name, generation, parent, attempts = self._unpack(item)
             with self._lock:
                 if self._queued.get(name) == generation:
                     del self._queued[name]
                 self._in_flight += 1
+                self._hearts[index] = time.monotonic()
+                self._current[index] = (name, generation, parent, attempts)
+            died = False
             try:
                 self._run_one(repo, name, generation, parent)
+            except BaseException as exc:  # noqa: BLE001 - simulated worker death
+                # Only a SimulatedCrash (or a stray async cancellation
+                # landing between the narrower nets) reaches here: the
+                # worker is considered dead.  Hand the task to the
+                # supervisor's retry/poison policy, then let the thread
+                # exit so the supervisor can respawn it.
+                died = True
+                self._note_worker_death(name, generation, parent, attempts, exc)
             finally:
                 with self._quiet:
+                    self._current.pop(index, None)
                     self._in_flight -= 1
                     # Gauge update inside the lock, *before* notifying:
                     # a drained foreground must observe the settled depth.
@@ -188,6 +259,117 @@ class SpeculationEngine:
                     )
                     if not self._queued and not self._in_flight:
                         self._quiet.notify_all()
+            if died:
+                return
+
+    def _note_worker_death(self, name, generation, parent, attempts, exc) -> None:
+        """A task killed its worker: requeue it (bounded) or poison it."""
+        repo = self.repository
+        retries = self.policy.worker_max_task_retries
+        if attempts < retries and not self._shutdown:
+            with self._lock:
+                self._queued[name] = generation
+            self._queue.put((name, generation, parent, attempts + 1))
+            return
+        self.failed.append(name)
+        self.poisoned.append(name)
+        repo.diagnostics.record(
+            POISON_TASK, name,
+            detail=f"task killed {attempts + 1} worker(s); "
+            "quarantined as poison",
+            cause=exc,
+        )
+
+    # ------------------------------------------------------------------
+    # The supervisor loop
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        """Heal the pool: restart dead workers, cancel hung ones."""
+        repo = self.repository
+        policy = self.policy
+        interval = 0.02
+        while not self._stop_supervisor.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    (index, self._current[index], self._idents.get(index))
+                    for index, beat in self._hearts.items()
+                    if index in self._current
+                    and now - beat > policy.worker_heartbeat_timeout
+                ]
+                dead = [
+                    index
+                    for index, thread in self._threads.items()
+                    if not thread.is_alive() and not self._shutdown
+                ]
+            for index, current, ident in stale:
+                # A hung worker absorbs the injected DeadlineExceeded as
+                # an ordinary failed compile and keeps its thread.
+                if ident is not None and async_raise(ident, DeadlineExceeded):
+                    with self._lock:
+                        self._hearts[index] = now  # one injection per period
+                    repo.diagnostics.record(
+                        WATCHDOG_TIMEOUT, current[0],
+                        detail="speculation worker heartbeat stale "
+                        f"(> {policy.worker_heartbeat_timeout:.4f}s); "
+                        "cancellation injected",
+                    )
+            for index in dead:
+                if self.restarts >= policy.worker_max_restarts:
+                    self._enter_degraded()
+                    break
+                due = self._next_restart.get(index)
+                if due is None:
+                    count = self._restart_counts.get(index, 0)
+                    delay = min(
+                        policy.worker_restart_backoff * (2 ** count), 1.0
+                    )
+                    self._next_restart[index] = now + delay
+                    continue
+                if now < due:
+                    continue
+                self._next_restart.pop(index, None)
+                self._restart_counts[index] = (
+                    self._restart_counts.get(index, 0) + 1
+                )
+                self.restarts += 1
+                with self._lock:
+                    self._threads[index] = self._spawn(index)
+                repo.diagnostics.record(
+                    WORKER_RESTART, f"worker-{index}",
+                    detail=f"dead worker respawned (restart {self.restarts}/"
+                    f"{policy.worker_max_restarts})",
+                )
+                self.obs.record_worker_restart()
+
+    def _enter_degraded(self) -> None:
+        """The restart budget is spent: flush the queue and stop accepting
+        work so ``drain()`` stays bounded; the session continues with
+        foreground JIT compilation only."""
+        first = False
+        with self._lock:
+            if not self.degraded:
+                self.degraded = True
+                first = True
+        if first:
+            self.repository.diagnostics.record(
+                WORKER_RESTART, "engine",
+                detail="restart budget exhausted; speculation degraded to "
+                "foreground-only",
+            )
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            name = self._unpack(item)[0]
+            with self._quiet:
+                self._queued.pop(name, None)
+                self.cancelled.append(name)
+                if not self._queued and not self._in_flight:
+                    self._quiet.notify_all()
 
     def _run_one(self, repo, name: str, generation: int, parent=None) -> None:
         tracer = self.obs.tracer

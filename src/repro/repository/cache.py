@@ -33,6 +33,18 @@ the callable.  Loads are *paranoid*: any failure — corrupt file, stale
 pickle, injected fault — is treated as a miss, recorded, and the entry
 deleted, never raised into the session.
 
+Self-healing (format 2)
+-----------------------
+Entries are *framed*: a magic + format-version header and a SHA-256
+digest of the payload precede the pickle.  A load that fails the frame
+check (torn write, bit rot, version mismatch, truncation) is detected
+*before* ``pickle`` ever sees attacker-shaped bytes, counted in
+``corruption_detected``, and the key is **quarantined**: the file is
+deleted and the key remembered so repeated lookups short-circuit to a
+miss without touching disk.  A later successful :meth:`put` of the same
+key — the rebuild after recompilation — lifts the quarantine.  Transient
+``OSError`` faults retry with exponential backoff before giving up.
+
 Eviction
 --------
 The repository's deopt/quarantine machinery calls :meth:`evict` whenever
@@ -47,14 +59,29 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 
 from repro.codegen.jitgen import CompiledObject
+from repro.faults.plan import (
+    InjectedFault,
+    SITE_CACHE_CORRUPT,
+    SITE_CACHE_PARTIAL,
+)
 from repro.frontend.pretty import pretty_function
 
-#: Bumped whenever the pickle layout or keying scheme changes.
-CACHE_FORMAT_VERSION = "1"
+#: Bumped whenever the pickle layout or keying scheme changes.  Format 2
+#: introduced the integrity frame (magic + digest header).
+CACHE_FORMAT_VERSION = "2"
+
+#: Frame header magic; the version digit follows so a stale-format entry
+#: is distinguishable from garbage.
+FRAME_MAGIC = b"MAJC"
+
+
+class CacheCorruption(Exception):
+    """An entry's bytes failed the integrity frame (never user-visible)."""
 
 #: Default cache location when a session asks for persistence without
 #: naming a directory (``MajicSession(cache_dir=True)``).
@@ -100,6 +127,34 @@ def deserialize_payload(payload: bytes):
     return pickle.loads(payload)
 
 
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap a pickle in the integrity frame:
+    ``MAJC<version>\\n<sha256-hex>\\n<payload>``."""
+    digest = hashlib.sha256(payload).hexdigest()
+    header = FRAME_MAGIC + CACHE_FORMAT_VERSION.encode("ascii")
+    return header + b"\n" + digest.encode("ascii") + b"\n" + payload
+
+
+def unframe_payload(data: bytes) -> bytes:
+    """Validate the frame and return the payload; raise
+    :class:`CacheCorruption` on any mismatch (truncation, garbage,
+    stale format, digest failure)."""
+    head, sep, rest = data.partition(b"\n")
+    if not sep or not head.startswith(FRAME_MAGIC):
+        raise CacheCorruption("missing or mangled frame header")
+    version = head[len(FRAME_MAGIC):]
+    if version != CACHE_FORMAT_VERSION.encode("ascii"):
+        raise CacheCorruption(
+            f"stale cache format {version!r} (want {CACHE_FORMAT_VERSION!r})"
+        )
+    digest, sep, payload = rest.partition(b"\n")
+    if not sep:
+        raise CacheCorruption("truncated frame (no digest separator)")
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        raise CacheCorruption("payload digest mismatch (torn write or bit rot)")
+    return payload
+
+
 def serialize_object(obj: CompiledObject) -> bytes:
     """Pickle a compiled object with its host callable stripped."""
     stripped = replace(obj, emitted=replace(obj.emitted, callable=None))
@@ -134,15 +189,95 @@ class RepositoryCache:
     ``os.replace``) so a crashed session never leaves a torn entry.
     """
 
-    def __init__(self, directory: str | os.PathLike, fault_plan=None):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fault_plan=None,
+        io_retries: int = 3,
+        io_backoff: float = 0.005,
+        diagnostics=None,
+    ):
         self.directory = Path(os.path.expanduser(os.fspath(directory)))
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fault_plan = fault_plan
+        self.io_retries = max(0, int(io_retries))
+        self.io_backoff = io_backoff
+        self.diagnostics = diagnostics
         self._lock = threading.Lock()
+        self._quarantined: set[str] = set()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.load_failures = 0
+        self.corruption_detected = 0
+        self.io_retried = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    def _diag(self, kind: str, name: str, detail: str, cause=None) -> None:
+        if self.diagnostics is not None:
+            try:
+                self.diagnostics.record(kind, name, detail=detail, cause=cause)
+            except Exception:  # noqa: BLE001 - healing must not depend on logging
+                pass
+
+    def _read_with_retry(self, path: Path, key: str) -> bytes:
+        """Read entry bytes, retrying transient IO faults with backoff.
+
+        ``FileNotFoundError`` (a plain miss) propagates immediately; any
+        other ``OSError`` is presumed transient — NFS hiccup, AV scanner
+        holding the file — and retried ``io_retries`` times.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    # The injected transient-IO site rides the load site
+                    # with BEHAVIOR_IO; a classic raise-behaviour spec on
+                    # "cache.load" still models a hard load fault.
+                    self.fault_plan.check("cache.load", key[:12])
+                return path.read_bytes()
+            except FileNotFoundError:
+                raise
+            except OSError as exc:
+                if attempt >= self.io_retries:
+                    raise
+                delay = self.io_backoff * (2 ** attempt)
+                attempt += 1
+                with self._lock:
+                    self.io_retried += 1
+                from repro.repository.diagnostics import CACHE_RETRY
+
+                self._diag(
+                    CACHE_RETRY, key[:12],
+                    f"transient IO fault on load; retry {attempt}/"
+                    f"{self.io_retries} after {delay:.4f}s", cause=exc,
+                )
+                time.sleep(delay)
+
+    def _quarantine(self, key: str, path: Path, cause) -> None:
+        """Drop a corrupt entry and remember the key until it is rebuilt."""
+        with self._lock:
+            self.misses += 1
+            self.load_failures += 1
+            self.corruption_detected += 1
+            self._quarantined.add(key)
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        from repro.repository.diagnostics import CACHE_CORRUPT
+
+        self._diag(
+            CACHE_CORRUPT, key[:12],
+            "corrupt entry quarantined; will rebuild on next store",
+            cause=cause,
+        )
+
+    @property
+    def quarantined_keys(self) -> set[str]:
+        with self._lock:
+            return set(self._quarantined)
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -157,26 +292,45 @@ class RepositoryCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> CompiledObject | None:
         """Load one entry; any failure is a recorded miss, never a raise."""
+        with self._lock:
+            if key in self._quarantined:
+                # Known-bad until rebuilt: skip the disk round trip.
+                self.misses += 1
+                return None
         path = self._path(key)
         try:
-            if self.fault_plan is not None:
-                self.fault_plan.check("cache.load", key[:12])
-            payload = path.read_bytes()
-            obj = deserialize_object(payload)
+            data = self._read_with_retry(path, key)
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
             return None
-        except Exception:  # noqa: BLE001 - a bad entry must act as a miss
+        except OSError:
+            # Retries exhausted on a transient fault: a miss, but the
+            # file itself may be fine — leave it for the next session.
             with self._lock:
                 self.misses += 1
                 self.load_failures += 1
-            # A corrupt/stale/faulted entry is useless; drop it so the
-            # next session does not trip over it again.
+            return None
+        except Exception:  # noqa: BLE001 - injected hard load fault
+            with self._lock:
+                self.misses += 1
+                self.load_failures += 1
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+            return None
+        if self.fault_plan is not None:
+            # Corruption model: the bytes read back are not the bytes
+            # written.  Mangling happens here, after the real read, so
+            # the frame check below is what detects it — same code path
+            # a real torn write or bit rot would take.
+            data = self.fault_plan.filter_bytes(SITE_CACHE_CORRUPT, key[:12], data)
+        try:
+            payload = unframe_payload(data)
+            obj = deserialize_object(payload)
+        except Exception as exc:  # noqa: BLE001 - corrupt entry: heal, don't raise
+            self._quarantine(key, path, exc)
             return None
         obj.cache_key = key
         with self._lock:
@@ -188,26 +342,62 @@ class RepositoryCache:
         try:
             if self.fault_plan is not None:
                 self.fault_plan.check("cache.store", obj.name)
-            payload = serialize_object(obj)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=".tmp-", suffix=".pkl"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(payload)
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            framed = frame_payload(serialize_object(obj))
+            if self.fault_plan is not None and self.fault_plan.fires(
+                SITE_CACHE_PARTIAL, key[:12]
+            ):
+                # A writer that died mid-write, bypassing the atomic
+                # rename: half a frame lands at the final path.  The
+                # digest check catches it on the next load.
+                self._path(key).write_bytes(framed[: max(1, len(framed) // 2)])
+                return True
+            self._write_with_retry(framed, key)
         except Exception:  # noqa: BLE001 - persistence is best-effort
             return False
         obj.cache_key = key
         with self._lock:
             self.stores += 1
+            if key in self._quarantined:
+                # The rebuild: a fresh compile re-persisted over a
+                # quarantined key lifts the quarantine.
+                self._quarantined.discard(key)
+                self.rebuilds += 1
         return True
+
+    def _write_with_retry(self, framed: bytes, key: str) -> None:
+        """Atomic tempfile+rename write with transient-IO retries."""
+        attempt = 0
+        while True:
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.directory, prefix=".tmp-", suffix=".pkl"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(framed)
+                    os.replace(tmp, self._path(key))
+                    return
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError as exc:
+                if attempt >= self.io_retries:
+                    raise
+                delay = self.io_backoff * (2 ** attempt)
+                attempt += 1
+                with self._lock:
+                    self.io_retried += 1
+                from repro.repository.diagnostics import CACHE_RETRY
+
+                self._diag(
+                    CACHE_RETRY, key[:12],
+                    f"transient IO fault on store; retry {attempt}/"
+                    f"{self.io_retries} after {delay:.4f}s", cause=exc,
+                )
+                time.sleep(delay)
 
     def evict(self, key: str) -> bool:
         """Remove one entry (a quarantined crasher must not resurrect)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 #: Event kinds recorded by the repository.
@@ -28,6 +29,14 @@ CACHE_HIT = "cache_hit"              # compile served from the disk cache
 CACHE_LOAD = "cache_load"            # cache entry deserialized (or refused)
 CACHE_STORE = "cache_store"          # compiled object persisted to disk
 CACHE_EVICT = "cache_evict"          # cached entry removed (deopt/quarantine)
+#: Supervision events (repro.resilience: watchdog / sandbox / healing).
+WATCHDOG_TIMEOUT = "watchdog_timeout"  # a deadline fired; operation cancelled
+SANDBOX_TRIAL = "sandbox_trial"        # first run executed in a sandbox fork
+SANDBOX_FAILURE = "sandbox_failure"    # the sandbox died; session survived
+WORKER_RESTART = "worker_restart"      # a dead speculation worker respawned
+POISON_TASK = "poison_task"            # a task quarantined after killing workers
+CACHE_CORRUPT = "cache_corrupt"        # a corrupted cache entry quarantined
+CACHE_RETRY = "cache_retry"            # a transient cache IO fault retried
 
 
 @dataclass(frozen=True)
@@ -56,18 +65,32 @@ class DiagnosticEvent:
 
 @dataclass
 class DiagnosticsLog:
-    """Bounded in-memory event log (oldest events dropped past capacity).
+    """Bounded in-memory ring of events (oldest dropped past capacity).
 
-    Recording is thread-safe: background speculation workers and the
-    foreground session share one log.
+    The ring is a :class:`collections.deque`, so a chaos storm that fires
+    thousands of events costs O(1) per drop rather than a list shuffle.
+    The ``capacity`` is configurable per session
+    (``MajicSession(diagnostics_capacity=...)``); drops are surfaced
+    through the :attr:`dropped` counter — a nonzero value is itself a
+    health signal worth alerting on.
+
+    Recording is thread-safe: background speculation workers, the
+    watchdog monitor and the foreground session share one log.
     """
 
     capacity: int = 10_000
-    _events: list[DiagnosticEvent] = field(default_factory=list)
+    _events: deque = field(default_factory=deque)
     _seq: int = 0
     _dropped: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _listeners: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.capacity = max(1, int(self.capacity))
+        # maxlen is enforced manually so evictions can be counted: a
+        # deque(maxlen=n) drops silently, and the drop count *is* the S2
+        # health signal.
+        self._events = deque(self._events)
 
     def record(
         self,
@@ -90,10 +113,9 @@ class DiagnosticsLog:
                 thread=threading.current_thread().name,
             )
             self._events.append(event)
-            if len(self._events) > self.capacity:
-                overflow = len(self._events) - self.capacity
-                del self._events[:overflow]
-                self._dropped += overflow
+            while len(self._events) > self.capacity:
+                self._events.popleft()
+                self._dropped += 1
             listeners = tuple(self._listeners)
         # Listeners (the metrics/trace bridge) run outside the lock: they
         # may take their own locks, and the flight recorder must never

@@ -52,8 +52,15 @@ from repro.codegen.runtime_support import RuntimeSupport
 from repro.codegen.srcgen import SourceCompiler, SrcOptions
 from repro.inference.speculation import Speculator
 from repro.interp.interpreter import Interpreter
+from repro.faults.plan import SITE_HANG, SITE_OOM
 from repro.obs import DISABLED as DISABLED_OBS
 from repro.obs import TIER_INTERPRETER
+from repro.resilience import (
+    DEFAULT_POLICY,
+    ExecutionGuard,
+    ResiliencePolicy,
+    SandboxExecutor,
+)
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.mxarray import MxArray
@@ -68,6 +75,8 @@ from repro.repository.diagnostics import (
     COMPILE_FAILURE,
     DEOPT,
     QUARANTINE,
+    SANDBOX_FAILURE,
+    SANDBOX_TRIAL,
     DiagnosticsLog,
 )
 from repro.repository.snoop import DirectorySnoop
@@ -147,6 +156,8 @@ class CodeRepository:
         fault_plan=None,
         cache=None,
         obs=None,
+        resilience: ResiliencePolicy | None = None,
+        diagnostics_capacity: int | None = None,
     ):
         self.jit_options = jit_options or JitOptions()
         self.src_options = src_options or SrcOptions()
@@ -164,10 +175,47 @@ class CodeRepository:
         self.snoop = DirectorySnoop()
         self.depgraph = DependencyGraph()
         self.stats = RepositoryStats()
-        self.diagnostics = DiagnosticsLog()
+        self.diagnostics = DiagnosticsLog(
+            capacity=diagnostics_capacity
+            if diagnostics_capacity is not None else 10_000
+        )
         # Robustness events mirror into the metrics registry and the
         # trace stream for free (deopts, quarantines, budget skips, ...).
         self.obs.bind_diagnostics(self.diagnostics)
+        # Supervision tier (repro.resilience): watchdog deadlines around
+        # compiles/runs, and optionally a sandbox for first runs.
+        self.resilience = resilience if resilience is not None else DEFAULT_POLICY
+        self.guard = ExecutionGuard(
+            compile_deadline=self.resilience.compile_deadline,
+            run_deadline=self.resilience.run_deadline,
+            diagnostics=self.diagnostics,
+            obs=self.obs,
+        )
+        self.sandbox = (
+            SandboxExecutor(
+                timeout=self.resilience.sandbox_timeout,
+                fault_plan=fault_plan,
+                diagnostics=self.diagnostics,
+                obs=self.obs,
+            )
+            if self.resilience.sandbox else None
+        )
+        # Precomputed hot-path switches: the common no-supervision call
+        # pays two attribute checks, nothing more.
+        self._run_guard_enabled = self.resilience.run_deadline is not None
+        # In-process chaos probes (hang/oom on the guarded run path); when
+        # the sandbox tier is on, first runs check these sites in the
+        # child instead, so the in-process probe stays off.
+        self._chaos_run_checks = (
+            fault_plan is not None
+            and self.sandbox is None
+            and any(
+                spec.site in (SITE_HANG, SITE_OOM) for spec in fault_plan.specs
+            )
+        )
+        # The cache heals itself; give it the session's flight recorder.
+        if cache is not None and getattr(cache, "diagnostics", None) is None:
+            cache.diagnostics = self.diagnostics
         # name -> FunctionDef (raw, as parsed)
         self._functions: dict[str, ast.FunctionDef] = {}
         # name -> inlined FunctionDef cache
@@ -516,9 +564,10 @@ class CodeRepository:
                 obs=self.obs,
             )
             start = time.perf_counter()
-            obj = compiler.compile(
-                fn, signature, mode="jit", is_user_function=self.knows
-            )
+            with self.guard.compile_guard(name):
+                obj = compiler.compile(
+                    fn, signature, mode="jit", is_user_function=self.knows
+                )
             duration = time.perf_counter() - start
             with self._lock:
                 self.stats.jit_compiles += 1
@@ -580,29 +629,34 @@ class CodeRepository:
                 return cached
             tracer = self.obs.tracer
             try:
-                phase_start = time.perf_counter()
-                with tracer.span("disambiguation", "disambiguation",
-                                 function=name, mode="spec"):
-                    disambiguation = Disambiguator(self.knows).run_function(fn)
-                disamb_elapsed = time.perf_counter() - phase_start
-                phase_start = time.perf_counter()
-                with tracer.span("type_inference", "type_inference",
-                                 function=name, mode="spec"):
-                    speculator = Speculator(options=self.src_options.inference)
-                    result = speculator.speculate(fn, disambiguation)
-                inference_elapsed = time.perf_counter() - phase_start
-                compiler = SourceCompiler(
-                    self.src_options, fault_plan=self.fault_plan, tracer=tracer
-                )
-                start = time.perf_counter()
-                obj = compiler.compile(
-                    fn,
-                    result.signature,
-                    disambiguation=disambiguation,
-                    annotations=result.annotations,
-                    mode="spec",
-                )
-                elapsed = time.perf_counter() - start
+                # One deadline covers the whole speculative pipeline: its
+                # analysis phases (disambiguation, inference) can hang
+                # just as hard as codegen.
+                with self.guard.compile_guard(name):
+                    phase_start = time.perf_counter()
+                    with tracer.span("disambiguation", "disambiguation",
+                                     function=name, mode="spec"):
+                        disambiguation = Disambiguator(self.knows).run_function(fn)
+                    disamb_elapsed = time.perf_counter() - phase_start
+                    phase_start = time.perf_counter()
+                    with tracer.span("type_inference", "type_inference",
+                                     function=name, mode="spec"):
+                        speculator = Speculator(options=self.src_options.inference)
+                        result = speculator.speculate(fn, disambiguation)
+                    inference_elapsed = time.perf_counter() - phase_start
+                    compiler = SourceCompiler(
+                        self.src_options, fault_plan=self.fault_plan,
+                        tracer=tracer
+                    )
+                    start = time.perf_counter()
+                    obj = compiler.compile(
+                        fn,
+                        result.signature,
+                        disambiguation=disambiguation,
+                        annotations=result.annotations,
+                        mode="spec",
+                    )
+                    elapsed = time.perf_counter() - start
             except CodegenError as exc:
                 # Expected "cannot compile this construct": interpreter-only.
                 with self._lock:
@@ -783,11 +837,81 @@ class CodeRepository:
         rng_state = GLOBAL_RANDOM.snapshot()
         sink_mark = self.sink.mark()
         try:
+            if self.sandbox is not None and not getattr(
+                obj, "sandbox_promoted", False
+            ):
+                return self._sandbox_trial(invocation, obj, rng_state, sink_mark)
+            if self._run_guard_enabled or self._chaos_run_checks:
+                return self._supervised_invoke(invocation, obj)
             return obj.invoke(invocation.args, invocation.nargout, self._rt)
         except MatlabError:
             raise
         except Exception as exc:  # noqa: BLE001 - this is the safety net
             return self._deoptimize(invocation, obj, exc, rng_state, sink_mark)
+
+    def _supervised_invoke(self, invocation, obj: CompiledObject):
+        """One compiled run under the watchdog deadline.
+
+        The chaos probes live *inside* the guard: an injected hang must be
+        cancelled by the watchdog exactly like a miscompiled infinite
+        loop.  A fired :class:`~repro.resilience.DeadlineExceeded` lands
+        in the caller's ``except Exception`` net and deoptimizes.
+        """
+        name = invocation.name
+        with self.guard.run_guard(name):
+            if self._chaos_run_checks:
+                plan = self.fault_plan
+                plan.check(SITE_HANG, name)
+                plan.check(SITE_OOM, name)
+            return obj.invoke(invocation.args, invocation.nargout, self._rt)
+
+    def _sandbox_trial(
+        self, invocation, obj: CompiledObject, rng_state, sink_mark
+    ) -> list[MxArray]:
+        """First run of a fresh compile, supervised in a forked child.
+
+        Success applies the child's side effects (transcript, RNG
+        advance) and promotes the object in-process; any sandbox death
+        deoptimizes through the standard chain — the session never sees
+        the crash.
+        """
+        name = invocation.name
+        with self._lock:
+            functions = dict(self._functions)
+        with self.obs.tracer.span("sandbox_trial", "execution", function=name):
+            verdict = self.sandbox.trial(
+                obj, functions, invocation.args, invocation.nargout, rng_state
+            )
+        if verdict.ok:
+            obj.sandbox_promoted = True
+            self.diagnostics.record(
+                SANDBOX_TRIAL, name,
+                detail=verdict.reason
+                or "first run succeeded in the sandbox; promoted in-process",
+                signature=obj.signature,
+            )
+            if not verdict.executed:
+                # No fork on this platform: promoted untried, run here.
+                return obj.invoke(invocation.args, invocation.nargout, self._rt)
+            if verdict.rng_state is not None:
+                GLOBAL_RANDOM.restore(verdict.rng_state)
+            if verdict.sink_text:
+                self.sink.write(verdict.sink_text)
+            if verdict.matlab_error is not None:
+                # The program's own error, replayed with its transcript.
+                raise verdict.matlab_error
+            return verdict.outputs
+        from repro.resilience import SandboxFailure
+
+        self.diagnostics.record(
+            SANDBOX_FAILURE, name,
+            detail=verdict.reason,
+            signature=obj.signature,
+        )
+        return self._deoptimize(
+            invocation, obj, SandboxFailure(verdict.reason), rng_state,
+            sink_mark,
+        )
 
     def _deoptimize(
         self, invocation, obj: CompiledObject, exc, rng_state, sink_mark

@@ -241,3 +241,198 @@ def test_atomic_writes_leave_no_temp_droppings(tmp_path):
     assert loaded is not None and loaded.name == "inc"
     assert cache.evict("a" * 64)
     assert not cache.evict("a" * 64)
+
+
+# ----------------------------------------------------------------------
+# Self-healing: integrity frame, quarantine, rebuild (format 2)
+# ----------------------------------------------------------------------
+def _cached_object():
+    session = MajicSession()
+    session.add_source(INC)
+    session.speculate_all()
+    (obj,) = session.repository.versions_of("inc")
+    return obj
+
+
+def test_frame_round_trip_and_failure_modes():
+    from repro.repository.cache import (
+        CacheCorruption,
+        frame_payload,
+        unframe_payload,
+    )
+
+    payload = b"arbitrary pickle bytes"
+    framed = frame_payload(payload)
+    assert unframe_payload(framed) == payload
+    with pytest.raises(CacheCorruption, match="header"):
+        unframe_payload(b"PKL1\njunk")
+    with pytest.raises(CacheCorruption, match="stale cache format"):
+        unframe_payload(b"MAJC1" + framed[5:])
+    with pytest.raises(CacheCorruption, match="truncated"):
+        unframe_payload(framed.split(b"\n", 1)[0] + b"\n" + b"x" * 64)
+    flipped = bytearray(framed)
+    flipped[-1] ^= 0xFF
+    with pytest.raises(CacheCorruption, match="digest mismatch"):
+        unframe_payload(bytes(flipped))
+
+
+def test_truncated_entry_is_quarantined_and_rebuilt(tmp_path):
+    cache = RepositoryCache(tmp_path)
+    obj = _cached_object()
+    key = "b" * 64
+    assert cache.put(key, obj)
+    path = tmp_path / f"{key}.pkl"
+    path.write_bytes(path.read_bytes()[: 40])  # torn mid-digest
+
+    assert cache.get(key) is None
+    assert cache.corruption_detected == 1
+    assert key in cache.quarantined_keys
+    assert not path.exists(), "corrupt file must be dropped"
+
+    # Quarantined keys short-circuit: no disk access, still a miss.
+    misses = cache.misses
+    assert cache.get(key) is None
+    assert cache.misses == misses + 1
+    assert cache.load_failures == 1, "fast-miss must not re-count a failure"
+
+    # A successful re-put is the rebuild and lifts the quarantine.
+    assert cache.put(key, obj)
+    assert cache.rebuilds == 1
+    assert key not in cache.quarantined_keys
+    assert cache.get(key).name == "inc"
+
+
+def test_garbage_bytes_are_quarantined(tmp_path):
+    cache = RepositoryCache(tmp_path)
+    key = "c" * 64
+    (tmp_path / f"{key}.pkl").write_bytes(b"\x00\xffnot a frame at all")
+    assert cache.get(key) is None
+    assert cache.corruption_detected == 1
+    assert key in cache.quarantined_keys
+
+
+def test_version_mismatch_header_is_stale_not_fatal(tmp_path):
+    from repro.repository.cache import frame_payload
+
+    cache = RepositoryCache(tmp_path)
+    obj = _cached_object()
+    key = "d" * 64
+    assert cache.put(key, obj)
+    path = tmp_path / f"{key}.pkl"
+    framed = path.read_bytes()
+    assert framed.startswith(b"MAJC2\n")
+    path.write_bytes(b"MAJC1" + framed[5:])  # an older compiler's frame
+
+    assert cache.get(key) is None
+    assert cache.corruption_detected == 1
+    # The stale entry was dropped; a fresh store serves format-2 again.
+    assert cache.put(key, obj)
+    assert cache.get(key).name == "inc"
+    assert frame_payload(b"x").startswith(b"MAJC2\n")
+
+
+def test_transient_io_faults_are_retried(tmp_path):
+    from repro.faults.plan import BEHAVIOR_IO, FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        [FaultSpec(site="cache.load", hits=(1, 2), behavior=BEHAVIOR_IO)]
+    )
+    seeded = RepositoryCache(tmp_path)
+    key = "e" * 64
+    assert seeded.put(key, _cached_object())
+
+    cache = RepositoryCache(tmp_path, fault_plan=plan, io_backoff=0.001)
+    assert cache.get(key).name == "inc", "third read attempt must succeed"
+    assert cache.io_retried == 2
+    assert cache.corruption_detected == 0
+
+
+def test_io_retries_exhausted_is_miss_without_unlink(tmp_path):
+    from repro.faults.plan import BEHAVIOR_IO, FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        [FaultSpec(site="cache.load", hits=(1, 2, 3), behavior=BEHAVIOR_IO)]
+    )
+    seeded = RepositoryCache(tmp_path)
+    key = "f" * 64
+    assert seeded.put(key, _cached_object())
+
+    cache = RepositoryCache(
+        tmp_path, fault_plan=plan, io_retries=2, io_backoff=0.001
+    )
+    assert cache.get(key) is None
+    assert cache.load_failures == 1
+    # Transient faults don't condemn the file: a later session reads it.
+    assert (tmp_path / f"{key}.pkl").exists()
+    assert RepositoryCache(tmp_path).get(key).name == "inc"
+
+
+def test_partial_write_race_detected_on_next_load(tmp_path):
+    from repro.faults.plan import FaultPlan
+
+    obj = _cached_object()
+    plan = FaultPlan.chaos_fault("cache.partial_write")
+    writer = RepositoryCache(tmp_path, fault_plan=plan)
+    key = "a1" * 32
+    assert writer.put(key, obj), "the dying writer thinks it succeeded"
+    assert len(plan.fired) == 1
+
+    reader = RepositoryCache(tmp_path)
+    assert reader.get(key) is None
+    assert reader.corruption_detected == 1
+    assert reader.put(key, obj) and reader.get(key).name == "inc"
+
+
+def test_concurrent_readers_and_writers_never_raise(tmp_path):
+    import threading
+
+    obj = _cached_object()
+    cache = RepositoryCache(tmp_path)
+    key = "9" * 64
+    path = tmp_path / f"{key}.pkl"
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer():
+        try:
+            while not stop.is_set():
+                cache.put(key, obj)
+                # A rude foreign writer tearing the file in place.
+                path.write_bytes(b"MAJC2\ntorn")
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                cache.get(key)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    import time
+
+    time.sleep(0.3)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors, f"cache raised under contention: {errors!r}"
+    # After the dust settles a clean put must heal whatever state remains.
+    assert cache.put(key, obj)
+    assert cache.get(key).name == "inc"
+
+
+def test_corruption_emits_diagnostics(tmp_path):
+    from repro.repository.diagnostics import CACHE_CORRUPT, DiagnosticsLog
+
+    log = DiagnosticsLog()
+    cache = RepositoryCache(tmp_path, diagnostics=log)
+    key = "8" * 64
+    (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+    assert cache.get(key) is None
+    (event,) = log.events(CACHE_CORRUPT)
+    assert "quarantined" in event.detail
