@@ -1,0 +1,180 @@
+"""Record the parallel-execution baseline (BENCH_parallel.json).
+
+Times Table-1-class workloads serially and under
+``MajicSession(parallel=N)`` — the MatlabMPI-style scatter/compute/
+gather backend — and records per-workload wall times, speedups and the
+message traffic.  Three rows cover the three sharding regimes:
+
+* ``mandel`` — a **tile** plan with real row sharding: each rank
+  computes its own block of the membership grid, so this is the row
+  the speedup target applies to;
+* ``fractal`` — a **tile** plan that replays the full RNG chain per
+  rank (the iterate is sequentially dependent), so it demonstrates
+  bit-identical sharding of a stochastic workload, not speedup;
+* ``sor`` — the **replicate** plan: the parent computes inline and the
+  ranks return distributed row blocks as a cross-check, so the
+  parallel time measures pure supervision overhead.
+
+Every parallel result is asserted **bit-identical** to the serial run
+(bytes, shapes, dtypes — and for fractal the RNG post-state) before any
+timing is reported; a mismatch aborts the script.
+
+Speedup is machine-dependent: the JSON records ``cores`` (what the
+container actually offers) and the CI gate only enforces a speedup
+floor when at least two cores are present.  Bit-identity is enforced
+unconditionally.
+
+Usage::
+
+    PYTHONPATH=src python scripts_bench_parallel.py [--quick]
+        [--workers N] [--repeats N] [--transport file|pipe] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform as host_platform
+import time
+
+from repro.benchsuite.registry import source_of
+from repro.benchsuite.workloads import boxed_workload
+from repro.core.majic import MajicSession
+from repro.runtime.builtins import GLOBAL_RANDOM
+
+SEED = 20020617
+
+
+def workloads(quick: bool) -> dict:
+    return {
+        "mandel": {
+            "scale": (120, 80) if quick else (250, 100),
+            "plan": "tile",
+        },
+        "fractal": {
+            "scale": (2000,) if quick else (20000,),
+            "plan": "tile",
+        },
+        "sor": {
+            "scale": (30, 1.5, 1e-6, 80) if quick else
+                     (60, 1.5, 1e-8, 200),
+            "plan": "replicate",
+        },
+    }
+
+
+def fingerprint(outputs) -> tuple:
+    import numpy as np
+
+    parts = []
+    for value in outputs:
+        data = np.ascontiguousarray(value.view())
+        parts.append((data.shape, str(data.dtype), data.tobytes()))
+    return tuple(parts)
+
+
+def run_once(session, name, scale):
+    GLOBAL_RANDOM.seed(SEED)
+    args = boxed_workload(name, scale)
+    start = time.perf_counter()
+    outputs = session.call_boxed(name, args, nargout=1)
+    elapsed = time.perf_counter() - start
+    return elapsed, fingerprint(outputs), GLOBAL_RANDOM.snapshot()
+
+
+def bench_engine(name, spec, repeats, parallel=None, transport="file"):
+    kwargs = {}
+    if parallel:
+        kwargs = {"parallel": parallel, "parallel_transport": transport}
+    session = MajicSession(**kwargs)
+    try:
+        session.add_source(source_of(name))
+        _, digest, rng = run_once(session, name, spec["scale"])  # warm
+        best = math.inf
+        for _ in range(repeats):
+            elapsed, again, rng2 = run_once(session, name, spec["scale"])
+            assert again == digest and rng2 == rng, (
+                f"{name}: nondeterministic across repeats"
+            )
+            best = min(best, elapsed)
+        fallbacks = session.diagnostics.counts().get("parallel_fallback", 0)
+        return best, digest, rng, fallbacks
+    finally:
+        session.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales / few repeats (CI smoke)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker ranks (default: min(4, cores))")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--transport", default="file",
+                        choices=("file", "pipe"))
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    options = parser.parse_args(argv)
+    cores = os.cpu_count() or 1
+    workers = options.workers or max(2, min(4, cores))
+    repeats = options.repeats or (3 if options.quick else 5)
+
+    per_workload: dict[str, dict] = {}
+    for name, spec in workloads(options.quick).items():
+        serial_s, serial_digest, serial_rng, _ = bench_engine(
+            name, spec, repeats
+        )
+        parallel_s, parallel_digest, parallel_rng, fallbacks = bench_engine(
+            name, spec, repeats, parallel=workers,
+            transport=options.transport,
+        )
+        bit_identical = (
+            parallel_digest == serial_digest and parallel_rng == serial_rng
+        )
+        assert bit_identical, (
+            f"{name}: parallel result diverged from the serial run"
+        )
+        assert fallbacks == 0, (
+            f"{name}: {fallbacks} parallel calls fell back to serial"
+        )
+        speedup = serial_s / parallel_s
+        per_workload[name] = {
+            "plan": spec["plan"],
+            "scale": list(spec["scale"]),
+            "serial_s": round(serial_s, 6),
+            "parallel_s": round(parallel_s, 6),
+            "speedup": round(speedup, 4),
+            "bit_identical": True,
+        }
+        print(f"{name:>8} [{spec['plan']:9}]: serial {serial_s:.4f}s  "
+              f"parallel({workers}) {parallel_s:.4f}s  x{speedup:.2f}  "
+              f"bit-identical")
+
+    result = {
+        "description": "MatlabMPI-style parallel backend vs serial "
+                       "execution; best-of-N single-call wall times",
+        "quick": options.quick,
+        "repeats": repeats,
+        "workers": workers,
+        "transport": options.transport,
+        "cores": cores,
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+        "workloads": per_workload,
+        "mandel_speedup": per_workload["mandel"]["speedup"],
+        "all_bit_identical": True,
+    }
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"cores={cores} workers={workers} "
+          f"mandel speedup x{result['mandel_speedup']}")
+    if cores < 2:
+        print("note: single-core machine; speedup is not meaningful here "
+              "(bit-identity still enforced)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

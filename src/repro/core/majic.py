@@ -76,6 +76,8 @@ class MajicSession:
         compile_deadline: float | object = _UNSET,
         sandbox_timeout: float | None = None,
         diagnostics_capacity: int | None = None,
+        parallel: int | None = None,
+        parallel_transport: str = "file",
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -112,9 +114,11 @@ class MajicSession:
         # Disk persistence: cache_dir=True selects ~/.pymajic/cache; a
         # path (str/Path) selects that directory; None disables it.
         cache = None
+        self.cache_dir = None
         if cache_dir:
             if cache_dir is True:
                 cache_dir = DEFAULT_CACHE_DIR
+            self.cache_dir = cache_dir
             cache = RepositoryCache(
                 cache_dir,
                 fault_plan=fault_plan,
@@ -149,6 +153,26 @@ class MajicSession:
         self._fault_plan = fault_plan
         self.engine: SpeculationEngine | None = None
         self._closed = False
+        # Source bookkeeping for the parallel backend: worker ranks are
+        # separate processes and must re-register every function the
+        # parent knows (the repository keeps parsed programs, not text).
+        self._source_texts: list[str] = []
+        self._source_paths: list[str] = []
+        # MatlabMPI/pMatlab-style parallel execution: parallel=N forks N
+        # worker ranks behind a scatter/compute/gather driver.  Built
+        # before the first call so children fork while the session is
+        # still single-threaded (no background workers running).
+        self.parallel: "ParallelExecutor | None" = None
+        if parallel:
+            from repro.parallel.driver import ParallelExecutor
+
+            self.parallel = ParallelExecutor(
+                self,
+                workers=int(parallel),
+                transport=parallel_transport,
+                fault_plan=fault_plan,
+                obs=self.obs,
+            )
         if background:
             self.engine = SpeculationEngine(
                 self.repository,
@@ -165,11 +189,24 @@ class MajicSession:
     # ------------------------------------------------------------------
     def add_source(self, text: str) -> list[str]:
         """Register one or more function definitions from source text."""
-        return self.repository.add_source(text)
+        names = self.repository.add_source(text)
+        if isinstance(text, str):
+            self._source_texts.append(text)
+        return names
 
     def add_path(self, directory) -> list[str]:
         """Put a directory of ``.m`` files on the snooped path."""
-        return self.repository.add_path(directory)
+        names = self.repository.add_path(directory)
+        self._source_paths.append(str(directory))
+        return names
+
+    def shipped_sources(self) -> list[str]:
+        """Source texts registered so far (parallel ranks replay these)."""
+        return self._source_texts
+
+    def shipped_paths(self) -> list[str]:
+        """Snooped directories registered so far."""
+        return self._source_paths
 
     def rescan(self) -> list[str]:
         """Re-snoop the path, picking up changed files."""
@@ -232,6 +269,9 @@ class MajicSession:
         if self._closed:
             return
         self._closed = True
+        if self.parallel is not None:
+            self.parallel.shutdown()
+            self.parallel = None
         if self.engine is not None:
             self.engine.shutdown()
             self.engine = None
@@ -267,14 +307,21 @@ class MajicSession:
         ``nargout`` returns a tuple.
         """
         boxed = [from_python(a) for a in args]
-        outputs = self.frontend.call(name, boxed, nargout=nargout)
+        outputs = self.call_boxed(name, boxed, nargout=nargout)
         unboxed = tuple(to_python(v) for v in outputs)
         if nargout <= 1:
             return unboxed[0] if unboxed else None
         return unboxed
 
     def call_boxed(self, name: str, args, nargout: int = 1):
-        """Call with/returning boxed MxArray values (harness use)."""
+        """Call with/returning boxed MxArray values (harness use).
+
+        With ``parallel=N`` the call routes through the scatter/compute/
+        gather driver, which falls back to serial execution on any
+        worker fault (results stay bit-identical either way).
+        """
+        if self.parallel is not None and self.parallel.enabled:
+            return self.parallel.call(name, list(args), nargout=nargout)
         return self.frontend.call(name, list(args), nargout=nargout)
 
     def get(self, name: str):

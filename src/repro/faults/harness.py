@@ -50,6 +50,8 @@ from repro.faults.plan import (
     SITE_HANG,
     SITE_JIT,
     SITE_OOM,
+    SITE_PARALLEL_SEND,
+    SITE_PARALLEL_WORKER,
 )
 from repro.frontend.parser import parse
 from repro.interp.interpreter import Interpreter
@@ -239,6 +241,73 @@ def chaos_scenarios() -> list[ChaosScenario]:
     ]
 
 
+def parallel_scenarios() -> list[ChaosScenario]:
+    """The parallel sweep: MatlabMPI-backend faults against every
+    benchmark with two worker ranks.  Dropped messages surface as recv
+    timeouts, hung ranks are killed and respawned, crashed ranks die for
+    real (``os._exit``) and OOM kills are absorbed as error replies —
+    all four must degrade into the serial fallback bit-identically."""
+    from repro.resilience import ResiliencePolicy
+
+    policy = ResiliencePolicy(parallel_recv_timeout=1.5)
+    kwargs = {"parallel": 2, "resilience": policy}
+    return [
+        ChaosScenario(
+            label="msg-dropped",
+            specs=(FaultSpec(site=SITE_PARALLEL_SEND, hits=(1,)),),
+            session_kwargs=dict(kwargs),
+        ),
+        ChaosScenario(
+            label="worker-hang",
+            specs=(FaultSpec(site=SITE_PARALLEL_WORKER, hits=(1,),
+                             behavior=BEHAVIOR_HANG),),
+            session_kwargs=dict(kwargs),
+        ),
+        ChaosScenario(
+            label="worker-crash",
+            specs=(FaultSpec(site=SITE_PARALLEL_WORKER, hits=(1,),
+                             behavior=BEHAVIOR_CRASH),),
+            session_kwargs=dict(kwargs),
+        ),
+        ChaosScenario(
+            label="worker-oom",
+            specs=(FaultSpec(site=SITE_PARALLEL_WORKER, hits=(1,),
+                             behavior=BEHAVIOR_OOM),),
+            session_kwargs=dict(kwargs),
+        ),
+    ]
+
+
+def run_parallel_chaos(
+    names: list[str] | None = None,
+    scales: dict[str, tuple] | None = None,
+) -> list[DifferentialOutcome]:
+    """Every benchmark × every parallel fault scenario, with two worker
+    ranks, asserted bit-identical against the pure interpreter."""
+    names = names or benchmark_names()
+    scales = scales or SMALL_SCALES
+    outcomes: list[DifferentialOutcome] = []
+    for name in names:
+        baseline = interpreter_baseline(name, scales.get(name))
+        for scenario in parallel_scenarios():
+            plan = scenario.plan()
+            faulted, session = run_with_faults(
+                name, plan, scales.get(name), **scenario.session_kwargs,
+            )
+            outcomes.append(
+                DifferentialOutcome(
+                    benchmark=name,
+                    plan=scenario.label,
+                    matches=(faulted == baseline),
+                    baseline=baseline,
+                    faulted=faulted,
+                    faults_fired=len(plan.fired),
+                    events=session.diagnostics.counts(),
+                )
+            )
+    return outcomes
+
+
 def run_chaos(
     names: list[str] | None = None,
     scales: dict[str, tuple] | None = None,
@@ -344,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
              "cache)",
     )
     parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the parallel chaos sweep (dropped messages, hung/"
+             "crashed/OOM-killed worker ranks with parallel=2)",
+    )
+    parser.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="write the sweep outcomes as JSON (CI artifact)",
     )
@@ -369,7 +443,9 @@ def main(argv: list[str] | None = None) -> int:
     names = options.benchmarks
     if names is None and options.smoke:
         names = ["fibonacci", "dirich", "cgopt", "fractal"]
-    if options.chaos:
+    if options.parallel:
+        outcomes = run_parallel_chaos(names=names)
+    elif options.chaos:
         outcomes = run_chaos(names=names)
     else:
         outcomes = run_differential(names=names, background=options.background)
@@ -385,8 +461,10 @@ def main(argv: list[str] | None = None) -> int:
         import json
 
         payload = {
-            "sweep": "chaos" if options.chaos else (
-                "background" if options.background else "default"
+            "sweep": "parallel" if options.parallel else (
+                "chaos" if options.chaos else (
+                    "background" if options.background else "default"
+                )
             ),
             "bit_identical": len(outcomes) - failures,
             "total": len(outcomes),

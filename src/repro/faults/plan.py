@@ -45,6 +45,13 @@ SITE_OOM = "oom"
 #: torn (partial) write that bypasses the atomic-rename protocol.
 SITE_CACHE_CORRUPT = "cache.corrupt"
 SITE_CACHE_PARTIAL = "cache.partial_write"
+#: Parallel-backend sites (:mod:`repro.parallel`): a message handed to the
+#: transport that is silently dropped, a receive that fails on the
+#: driver side, and a task picked up by a parallel worker process (where
+#: ``hang``/``crash`` behaviours model a wedged or dying rank).
+SITE_PARALLEL_SEND = "parallel.send"
+SITE_PARALLEL_RECV = "parallel.recv"
+SITE_PARALLEL_WORKER = "parallel.worker"
 #: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
 RT_PREFIX = "rt."
 RT_ANY = "rt.*"
@@ -165,6 +172,19 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Fail the Nth fused-kernel compile or dispatch."""
         return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
+
+    @classmethod
+    def parallel_fault(
+        cls,
+        site: str = SITE_PARALLEL_WORKER,
+        behavior: str = BEHAVIOR_RAISE,
+        hit: int = 1,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth parallel-backend send/recv/worker task."""
+        return cls(
+            [FaultSpec(site=site, hits=(hit,), behavior=behavior)], seed=seed
+        )
 
     @classmethod
     def chaos_fault(

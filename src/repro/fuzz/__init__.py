@@ -1,0 +1,37 @@
+"""Grammar-driven differential fuzzing across every execution backend.
+
+A seeded generator (:mod:`repro.fuzz.grammar`) produces random MATLAB
+programs — scalar and matrix arithmetic, elementwise operators, ``for``
+/ ``while`` / ``if`` control flow, slicing, stores and a curated builtin
+set — and the runner (:mod:`repro.fuzz.runner`) executes each program on
+every backend (interpreter, JIT, fused-kernel JIT, speculative,
+background-speculative, the FALCON and mcc baselines, and the
+MatlabMPI-style parallel driver), asserting that outputs, display text
+and error messages are **bit-identical** to the interpreter's.
+
+Use as a library (the differential pytest suite), or as a CLI::
+
+    python -m repro.fuzz --seed 0 --count 50
+    python -m repro.fuzz --backends jit,fused,parallel --count 200
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.grammar import GeneratedProgram, generate_program
+from repro.fuzz.runner import (
+    BACKENDS,
+    RunResult,
+    check_program,
+    fuzz,
+    run_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "GeneratedProgram",
+    "RunResult",
+    "check_program",
+    "fuzz",
+    "generate_program",
+    "run_backend",
+]

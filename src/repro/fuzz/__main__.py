@@ -1,0 +1,70 @@
+"""CLI for the differential fuzzer: ``python -m repro.fuzz``.
+
+Examples::
+
+    python -m repro.fuzz                         # 50 cases, all backends
+    python -m repro.fuzz --seed 120 --count 200
+    python -m repro.fuzz --backends jit,fused,parallel --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.runner import BACKENDS, DEFAULT_BACKENDS, fuzz
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing across every execution backend.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="first program seed (default 0)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=50,
+        help="number of consecutive seeds to check (default 50)",
+    )
+    parser.add_argument(
+        "--backends", default=",".join(DEFAULT_BACKENDS),
+        help="comma-separated backend labels (default: all); "
+             f"known: {', '.join(BACKENDS)}",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print every case as it runs",
+    )
+    args = parser.parse_args(argv)
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        parser.error(f"unknown backends: {', '.join(unknown)}")
+
+    def on_case(program, mismatches):
+        status = "MISMATCH" if mismatches else "ok"
+        if args.verbose or mismatches:
+            features = ",".join(program.features) or "-"
+            print(f"seed {program.seed:6d}  [{features}]  {status}")
+        for mismatch in mismatches:
+            print(f"  {mismatch}")
+            print("  --- program ---")
+            for line in program.source.splitlines():
+                print(f"  | {line}")
+
+    report = fuzz(
+        seed=args.seed, count=args.count, backends=backends, on_case=on_case,
+    )
+    print(
+        f"checked {report.checked} programs on {len(backends)} backends: "
+        f"{len(report.mismatches)} mismatches "
+        f"({report.errored_programs} programs raised, identically or not)"
+    )
+    return 1 if report.mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

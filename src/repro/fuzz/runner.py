@@ -1,0 +1,222 @@
+"""Execute generated programs on every backend and compare bit-for-bit.
+
+The interpreter is ground truth (the paper's Section 2.2.1 contract).
+For each backend we canonicalize the run into a :class:`RunResult`:
+
+* every output as ``(shape, dtype, raw little-endian bytes)`` — byte
+  equality is NaN-payload- and signed-zero-exact;
+* the display sink's text;
+* the MATLAB error message, when the program raised.
+
+A backend matches iff all three are equal.  Anything else — a different
+result bit, a differently formatted ``disp``, a different error string —
+is a :class:`Mismatch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.falcon import FalconCompilerEngine
+from repro.baselines.mcc import MccCompilerEngine
+from repro.core.majic import MajicSession
+from repro.errors import MatlabError
+from repro.frontend.parser import parse
+from repro.fuzz.grammar import GeneratedProgram, generate_program
+from repro.interp.interpreter import Interpreter
+from repro.runtime.builtins import GLOBAL_RANDOM
+from repro.runtime.display import OutputSink
+from repro.runtime.mxarray import MxArray
+from repro.runtime.values import from_python
+
+#: RNG seed applied before every backend run (programs using ``rand``
+#: must read the same stream everywhere).
+RNG_SEED = 20020617
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Canonicalized observable behaviour of one program run."""
+
+    outputs: tuple
+    display: str
+    error: str | None
+
+    def matches(self, other: "RunResult") -> bool:
+        return (
+            self.outputs == other.outputs
+            and self.display == other.display
+            and self.error == other.error
+        )
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    seed: int
+    backend: str
+    field: str
+    expected: object
+    actual: object
+
+    def __str__(self) -> str:
+        return (
+            f"seed {self.seed}: backend '{self.backend}' diverged on "
+            f"{self.field}: expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+def _canon_value(value) -> tuple:
+    if isinstance(value, MxArray):
+        if value.is_string:
+            return ("char", value.text)
+        data = np.ascontiguousarray(value.view())
+        return ("mat", data.shape, str(data.dtype), data.tobytes())
+    return ("host", repr(value))
+
+
+def _canonical(outputs, sink: OutputSink, error) -> RunResult:
+    return RunResult(
+        outputs=tuple(_canon_value(v) for v in (outputs or ())),
+        display=sink.getvalue(),
+        error=str(error) if error is not None else None,
+    )
+
+
+def _boxed_args(program: GeneratedProgram):
+    return [from_python(a) for a in program.args]
+
+
+# ----------------------------------------------------------------------
+# Backend runners
+# ----------------------------------------------------------------------
+def _run_interpreter(program: GeneratedProgram) -> RunResult:
+    table = {fn.name: fn for fn in parse(program.source).functions}
+    sink = OutputSink()
+    interp = Interpreter(function_lookup=table.get, sink=sink)
+    GLOBAL_RANDOM.seed(RNG_SEED)
+    outputs = error = None
+    try:
+        outputs = interp.call_function(
+            table[program.name], _boxed_args(program), 2
+        )
+    except MatlabError as exc:
+        error = exc
+    return _canonical(outputs, sink, error)
+
+
+def _run_session(program: GeneratedProgram, **kwargs) -> RunResult:
+    speculate = kwargs.pop("speculate", False)
+    background = kwargs.pop("background", False)
+    session = MajicSession(seed=None, **kwargs)
+    try:
+        session.add_source(program.source)
+        if background:
+            session.speculate_async()
+            if not session.drain_speculation(timeout=60):
+                raise RuntimeError("background speculation queue hung")
+        elif speculate:
+            session.speculate_all()
+        GLOBAL_RANDOM.seed(RNG_SEED)
+        outputs = error = None
+        try:
+            outputs = session.call_boxed(
+                program.name, _boxed_args(program), nargout=2
+            )
+        except MatlabError as exc:
+            error = exc
+        return _canonical(outputs, session.sink, error)
+    finally:
+        session.close()
+
+
+def _run_baseline(program: GeneratedProgram, factory) -> RunResult:
+    sink = OutputSink()
+    engine = factory(sink=sink)
+    engine.add_source(program.source)
+    GLOBAL_RANDOM.seed(RNG_SEED)
+    outputs = error = None
+    try:
+        outputs = engine.execute(program.name, _boxed_args(program), 2)
+    except MatlabError as exc:
+        error = exc
+    return _canonical(outputs, sink, error)
+
+
+#: Label -> runner.  ``interpreter`` is the ground truth every other
+#: backend is compared against.
+BACKENDS = {
+    "interpreter": _run_interpreter,
+    "jit": lambda p: _run_session(p, fusion=False),
+    "fused": lambda p: _run_session(p),
+    "spec": lambda p: _run_session(p, speculate=True),
+    "background": lambda p: _run_session(p, background=True),
+    "falcon": lambda p: _run_baseline(p, FalconCompilerEngine),
+    "mcc": lambda p: _run_baseline(p, MccCompilerEngine),
+    "parallel": lambda p: _run_session(p, parallel=2),
+}
+
+DEFAULT_BACKENDS = tuple(label for label in BACKENDS if label != "interpreter")
+
+
+def run_backend(label: str, program: GeneratedProgram) -> RunResult:
+    return BACKENDS[label](program)
+
+
+def check_program(
+    program: GeneratedProgram, backends=DEFAULT_BACKENDS
+) -> list[Mismatch]:
+    """Run one program everywhere; report every divergence from the
+    interpreter."""
+    expected = _run_interpreter(program)
+    mismatches: list[Mismatch] = []
+    for label in backends:
+        if label == "interpreter":
+            continue
+        actual = run_backend(label, program)
+        for field_name in ("outputs", "display", "error"):
+            want = getattr(expected, field_name)
+            got = getattr(actual, field_name)
+            if want != got:
+                mismatches.append(Mismatch(
+                    seed=program.seed, backend=label, field=field_name,
+                    expected=want, actual=got,
+                ))
+    return mismatches
+
+
+@dataclass
+class FuzzReport:
+    checked: int = 0
+    errored_programs: int = 0
+    mismatches: list = None
+
+    def __post_init__(self):
+        if self.mismatches is None:
+            self.mismatches = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def fuzz(
+    seed: int = 0,
+    count: int = 50,
+    backends=DEFAULT_BACKENDS,
+    on_case=None,
+) -> FuzzReport:
+    """Check ``count`` consecutive seeds starting at ``seed``."""
+    report = FuzzReport()
+    for case_seed in range(seed, seed + count):
+        program = generate_program(case_seed)
+        found = check_program(program, backends)
+        report.checked += 1
+        expected = _run_interpreter(program)
+        if expected.error is not None:
+            report.errored_programs += 1
+        report.mismatches.extend(found)
+        if on_case is not None:
+            on_case(program, found)
+    return report

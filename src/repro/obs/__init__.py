@@ -160,6 +160,36 @@ class Observability:
             "Watchdog deadline cancellations by operation kind.",
             labelnames=("kind",),
         )
+        # Parallel-backend instruments (repro.parallel): call/fallback
+        # counters, message traffic and per-call latency.
+        self._parallel_calls = registry.counter(
+            "majic_parallel_calls_total",
+            "Calls executed through the parallel backend, by plan kind.",
+            labelnames=("plan",),
+        )
+        self._parallel_fallbacks = registry.counter(
+            "majic_parallel_fallback_total",
+            "Parallel calls that fell back to serial execution.",
+        )
+        self._parallel_messages = registry.counter(
+            "majic_parallel_messages_total",
+            "MPI-style messages by outcome (sent, received, dropped).",
+            labelnames=("kind",),
+        )
+        self._parallel_bytes = registry.counter(
+            "majic_parallel_bytes_total",
+            "Serialized message payload bytes moved by the transport.",
+            labelnames=("kind",),
+        )
+        self._parallel_restarts = registry.counter(
+            "majic_parallel_worker_restarts_total",
+            "Dead parallel worker ranks respawned by the driver.",
+        )
+        self._parallel_seconds = registry.histogram(
+            "majic_parallel_call_seconds",
+            "Wall-clock latency of scatter/compute/gather parallel calls.",
+            labelnames=("function",),
+        )
 
     # ------------------------------------------------------------------
     # Hot-path helpers (no-ops when metrics are disabled)
@@ -205,6 +235,33 @@ class Observability:
         if not self.metrics.enabled:
             return
         self._worker_restarts.inc()
+
+    def record_parallel_call(self, plan: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._parallel_calls.inc(plan=plan)
+
+    def record_parallel_fallback(self) -> None:
+        if not self.metrics.enabled:
+            return
+        self._parallel_fallbacks.inc()
+
+    def record_parallel_message(self, kind: str, nbytes: int = 0) -> None:
+        if not self.metrics.enabled:
+            return
+        self._parallel_messages.inc(kind=kind)
+        if nbytes:
+            self._parallel_bytes.inc(nbytes, kind=kind)
+
+    def record_parallel_restart(self) -> None:
+        if not self.metrics.enabled:
+            return
+        self._parallel_restarts.inc()
+
+    def record_parallel_seconds(self, function: str, seconds: float) -> None:
+        if not self.metrics.enabled:
+            return
+        self._parallel_seconds.observe(seconds, function=function)
 
     def record_watchdog_timeout(self, kind: str) -> None:
         if not self.metrics.enabled:

@@ -1,0 +1,129 @@
+"""Sharding plans: how one function call maps onto worker ranks.
+
+Two plan kinds cover the Table 1 workloads:
+
+* :class:`TilePlan` — embarrassingly (or replay-) parallel functions
+  whose result rows can be computed per-tile **bit-identically** to the
+  serial run.  A tile variant of the function (``mandel_tile.m``,
+  ``fractal_tile.m``, shipped with this package) computes rows
+  ``a0..a1``; the driver scatters row ranges, gathers the tiles and
+  reassembles them.  This is the plan that actually buys wall-clock
+  speedup.
+* :class:`ReplicatePlan` — everything else.  The parent computes the
+  full result inline (so displays, errors and the RNG stream are
+  serial-identical *by construction*) while the workers replicate the
+  call from the same RNG snapshot and return their block of the result
+  as a distributed cross-check.  A worker fault costs nothing: the
+  parent's result stands.
+
+``plan_for(name)`` resolves the plan for a function; ``register_tile``
+lets tests add tile plans for their own functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.mxarray import MxArray
+
+
+def _programs_dir() -> Path:
+    return Path(__file__).parent / "programs"
+
+
+def tile_source(tile_function: str) -> str:
+    """Source text of one bundled tile program."""
+    return (_programs_dir() / f"{tile_function}.m").read_text()
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Row-tiled execution of one function.
+
+    ``tile_function(orig_args..., a0, a1)`` must return rows ``a0..a1``
+    (1-based, inclusive) of the serial result, bit-identically.
+    ``rng_from_last``: the parent adopts the last rank's post-call RNG
+    state (tile programs that replay the full random chain all end in
+    the same state; functions that never draw leave it untouched).
+    """
+
+    function: str
+    tile_function: str
+    source: str
+    rng_from_last: bool = False
+
+    kind = "tile"
+
+    def rows(self, args) -> int | None:
+        """Row extent of the result, or None if the args don't fit the
+        tiled form (driver falls back to replicate/serial)."""
+        if not args:
+            return None
+        first = args[0]
+        if not isinstance(first, MxArray) or not first.is_scalar:
+            return None
+        value = first.data[0, 0]
+        if isinstance(value, complex):
+            return None
+        rows = int(value)
+        if rows != value or rows < 1:
+            return None
+        return rows
+
+    def cols(self, args) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _MandelPlan(TilePlan):
+    def cols(self, args) -> int:
+        return self.rows(args) or 0  # result is n x n
+
+
+@dataclass(frozen=True)
+class _FractalPlan(TilePlan):
+    def cols(self, args) -> int:
+        return 2  # result is npoints x 2
+
+
+@dataclass(frozen=True)
+class ReplicatePlan:
+    """Parent computes inline; workers replicate and cross-check."""
+
+    kind = "replicate"
+
+
+REPLICATE = ReplicatePlan()
+
+#: Tile plans shipped with the package, keyed by user-function name.
+TILE_PLANS: dict[str, TilePlan] = {
+    "mandel": _MandelPlan(
+        function="mandel",
+        tile_function="mandel_tile",
+        source=tile_source("mandel_tile"),
+    ),
+    "fractal": _FractalPlan(
+        function="fractal",
+        tile_function="fractal_tile",
+        source=tile_source("fractal_tile"),
+        rng_from_last=True,
+    ),
+}
+
+
+def register_tile(plan: TilePlan) -> None:
+    """Install (or replace) a tile plan for ``plan.function``."""
+    TILE_PLANS[plan.function] = plan
+
+
+def plan_for(name: str):
+    """The sharding plan for one function (tile if known, else
+    replicate)."""
+    return TILE_PLANS.get(name, REPLICATE)
+
+
+def tile_sources() -> list[str]:
+    """Source texts of every registered tile program (shipped to worker
+    ranks at spawn)."""
+    return [plan.source for plan in TILE_PLANS.values()]

@@ -1,0 +1,29 @@
+function P = fractal_tile(npoints, k0, k1)
+% FRACTAL_TILE  Rows k0..k1 of the fractal(npoints) fern.
+% The iterate v(k) depends on the whole random prefix r(1..k), so every
+% rank replays the full chain from the shared RNG snapshot and stores
+% only its own rows; the arithmetic per step is identical to the serial
+% run, so the stored rows are bit-identical.
+P = zeros(k1 - k0 + 1, 2);
+v = [0; 0];
+for k = 1:npoints,
+  r = rand(1, 1);
+  if r < 0.01,
+    A = [0, 0; 0, 0.16];
+    t = [0; 0];
+  elseif r < 0.86,
+    A = [0.85, 0.04; -0.04, 0.85];
+    t = [0; 1.6];
+  elseif r < 0.93,
+    A = [0.2, -0.26; 0.23, 0.22];
+    t = [0; 1.6];
+  else
+    A = [-0.15, 0.28; 0.26, 0.24];
+    t = [0; 0.44];
+  end
+  v = A * v + t;
+  if (k >= k0) & (k <= k1),
+    P(k - k0 + 1, 1) = v(1);
+    P(k - k0 + 1, 2) = v(2);
+  end
+end

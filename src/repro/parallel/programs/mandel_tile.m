@@ -1,0 +1,19 @@
+function M = mandel_tile(n, maxiter, a0, a1)
+% MANDEL_TILE  Rows a0..a1 of the mandel(n, maxiter) membership grid.
+% Each cell depends only on its own (a, b) indices, so a row tile
+% computed here is bit-identical to the same rows of the serial run.
+M = zeros(a1 - a0 + 1, n);
+for a = a0:a1,
+  for b = 1:n,
+    x = -2 + 3 * (a - 1) / (n - 1);
+    y = -1.5 + 3 * (b - 1) / (n - 1);
+    c = x + y * i;
+    z = 0 * i;
+    count = 0;
+    while (count < maxiter) & (abs(z) <= 2),
+      z = z * z + c;
+      count = count + 1;
+    end
+    M(a - a0 + 1, b) = count;
+  end
+end

@@ -1,0 +1,263 @@
+"""Point-to-point transports for the MatlabMPI-style messaging core.
+
+Three interchangeable transports move :class:`~repro.parallel.message.
+Envelope` frames between ranks:
+
+* :class:`FileTransport` — the authentic MatlabMPI mechanism: the sender
+  writes the message to a spool directory under a temporary name and
+  atomically renames it to its final ``m_<src>_<dst>_<tag>_<seq>`` name;
+  the receiver polls the directory for frames addressed to it.  The
+  atomic rename plays the role of MatlabMPI's lock files: a receiver can
+  never observe a half-written message.  Works across any process
+  boundary that shares a filesystem.
+* :class:`PipeTransport` — a full mesh of ``multiprocessing.Pipe``
+  duplex channels, one per unordered rank pair, created before the
+  worker processes fork so every rank inherits its ends.  Much lower
+  latency than the spool; EOF on a channel doubles as rank-death
+  detection.
+* :class:`LoopbackTransport` — an in-process queue mesh for tests: lets
+  hypothesis drive multi-rank communicators on threads with no processes
+  involved.
+
+All transports speak the same tiny interface: ``send(envelope)`` and
+``recv_any(rank, timeout)`` returning the next frame addressed to
+``rank`` (in per-sender FIFO order) or ``None`` on timeout.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import os
+import tempfile
+import threading
+import time
+from multiprocessing import Pipe
+from multiprocessing.connection import wait as _conn_wait
+
+from repro.parallel.message import Envelope, pack, unpack
+
+
+class ChannelDead(RuntimeError):
+    """The peer on a channel is gone (process died, pipe closed)."""
+
+
+class Transport:
+    """Interface: frame-oriented, per-sender FIFO, rank-addressed."""
+
+    def send(self, envelope: Envelope) -> None:
+        raise NotImplementedError
+
+    def recv_any(self, rank: int, timeout: float | None = None):
+        """The next envelope addressed to ``rank`` or None on timeout."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+# ----------------------------------------------------------------------
+# In-process loopback (tests, thread-based communicators)
+# ----------------------------------------------------------------------
+class LoopbackTransport(Transport):
+    """Thread-safe in-memory mailbox per rank."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._boxes: dict[int, collections.deque] = {
+            rank: collections.deque() for rank in range(size)
+        }
+
+    def send(self, envelope: Envelope) -> None:
+        # Round-trip through the wire format so loopback exercises the
+        # same framing the file/pipe transports do.
+        frame = pack(envelope)
+        with self._ready:
+            self._boxes[envelope.dst].append(frame)
+            self._ready.notify_all()
+
+    def recv_any(self, rank: int, timeout: float | None = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            box = self._boxes[rank]
+            while not box:
+                if deadline is None:
+                    self._ready.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._ready.wait(remaining)
+            return unpack(box.popleft())
+
+
+# ----------------------------------------------------------------------
+# MatlabMPI-style file spool
+# ----------------------------------------------------------------------
+class FileTransport(Transport):
+    """Spool-directory messaging with atomic rename (MatlabMPI's model).
+
+    Message files sort by ``(src, seq)`` so per-sender FIFO order holds;
+    the sequence number is process-local, which is enough because order
+    only matters between one (src, dst) pair.
+    """
+
+    POLL_INTERVAL = 0.002
+
+    def __init__(self, directory: str | None = None):
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="majic-mpi-")
+            self._owned = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._owned = False
+        self.directory = directory
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    def send(self, envelope: Envelope) -> None:
+        with self._lock:
+            seq = next(self._seq)
+        final = os.path.join(
+            self.directory,
+            f"m_{envelope.src:04d}_{envelope.dst:04d}"
+            f"_{envelope.tag:08d}_{seq:010d}_{os.getpid()}.msg",
+        )
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(pack(envelope))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp, final)  # atomic: the receiver sees all or nothing
+
+    def _scan(self, rank: int) -> list[str]:
+        me = f"_{rank:04d}_"
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            raise ChannelDead(f"spool directory {self.directory} is gone")
+        mine = [
+            n for n in names
+            if n.endswith(".msg") and n[6:12] == me
+        ]
+        # Per-sender FIFO: sort by (src, seq); both are zero-padded in
+        # the name, so a plain lexicographic sort on (src, seq) works.
+        mine.sort(key=lambda n: (n[2:6], n.rsplit("_", 2)[1]))
+        return mine
+
+    def recv_any(self, rank: int, timeout: float | None = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for name in self._scan(rank):
+                path = os.path.join(self.directory, name)
+                try:
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                    os.unlink(path)
+                except (FileNotFoundError, OSError):
+                    continue  # a concurrent receiver got there first
+                return unpack(data)
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(self.POLL_INTERVAL)
+
+    def close(self) -> None:
+        if self._owned:
+            import shutil
+
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Pipe mesh
+# ----------------------------------------------------------------------
+class PipeTransport(Transport):
+    """A full mesh of duplex pipes, one per unordered rank pair.
+
+    Built in the parent before forking so each rank inherits every
+    channel end it needs.  ``attach(rank)`` must be called in the process
+    that will use the transport as that rank; it records which ends the
+    process owns (the others are left untouched — closing them here
+    would tear down channels sibling ranks still use).
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        # ends[(i, j)] = (end used by i, end used by j) for i < j
+        self.ends: dict[tuple[int, int], tuple] = {}
+        for i in range(size):
+            for j in range(i + 1, size):
+                self.ends[(i, j)] = Pipe(duplex=True)
+        self._rank: int | None = None
+        self._mine: dict = {}       # connection -> peer rank
+        self._stash: collections.deque = collections.deque()
+
+    def _end_for(self, rank: int, peer: int):
+        pair = (rank, peer) if rank < peer else (peer, rank)
+        ends = self.ends[pair]
+        return ends[0] if rank < peer else ends[1]
+
+    def attach(self, rank: int) -> None:
+        self._rank = rank
+        self._mine = {
+            self._end_for(rank, peer): peer
+            for peer in range(self.size)
+            if peer != rank
+        }
+
+    def send(self, envelope: Envelope) -> None:
+        conn = self._end_for(envelope.src, envelope.dst)
+        try:
+            conn.send_bytes(pack(envelope))
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelDead(
+                f"pipe to rank {envelope.dst} is closed"
+            ) from exc
+
+    def recv_any(self, rank: int, timeout: float | None = None):
+        if self._rank != rank:
+            self.attach(rank)
+        if self._stash:
+            return unpack(self._stash.popleft())
+        conns = list(self._mine)
+        ready = _conn_wait(conns, timeout)
+        for conn in ready:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise ChannelDead(
+                    f"pipe from rank {self._mine[conn]} hit EOF"
+                ) from exc
+            self._stash.append(frame)
+        if self._stash:
+            return unpack(self._stash.popleft())
+        return None
+
+    def close_rank(self, rank: int) -> None:
+        """Close both ends of every channel touching ``rank`` (the parent
+        does this when respawning a dead worker; fresh pipes replace
+        them)."""
+        for (i, j), (a, b) in list(self.ends.items()):
+            if rank in (i, j):
+                for end in (a, b):
+                    try:
+                        end.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+
+    def replace_channel(self, i: int, j: int) -> None:
+        """Install a fresh pipe for one pair (worker respawn)."""
+        pair = (i, j) if i < j else (j, i)
+        self.ends[pair] = Pipe(duplex=True)
+        if self._rank is not None:
+            self.attach(self._rank)
+
+    def close(self) -> None:
+        for a, b in self.ends.values():
+            for end in (a, b):
+                try:
+                    end.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass

@@ -37,6 +37,10 @@ WORKER_RESTART = "worker_restart"      # a dead speculation worker respawned
 POISON_TASK = "poison_task"            # a task quarantined after killing workers
 CACHE_CORRUPT = "cache_corrupt"        # a corrupted cache entry quarantined
 CACHE_RETRY = "cache_retry"            # a transient cache IO fault retried
+#: Parallel-backend events (repro.parallel: MatlabMPI-style ranks).
+PARALLEL_FALLBACK = "parallel_fallback"        # a sharded call ran serially
+PARALLEL_RESTART = "parallel_worker_restart"   # a dead rank was respawned
+PARALLEL_DEGRADED = "parallel_degraded"        # restart budget spent; serial
 
 
 @dataclass(frozen=True)

@@ -77,6 +77,16 @@ class ResiliencePolicy:
     cache_io_retries: int = 3
     #: Base of the cache retry backoff (seconds), doubled per attempt.
     cache_io_backoff: float = 0.005
+    #: How long the parallel driver waits for one worker rank's reply
+    #: before declaring the message lost and falling back to serial
+    #: execution (:mod:`repro.parallel`).
+    parallel_recv_timeout: float = 60.0
+    #: Dead parallel-worker respawns paid for before the parallel backend
+    #: degrades to serial execution for the rest of the session.
+    parallel_max_restarts: int = 4
+    #: Base of the parallel-worker respawn backoff (seconds), doubled per
+    #: restart of the same rank, capped at 1s.
+    parallel_restart_backoff: float = 0.02
 
     def with_overrides(self, **kwargs) -> "ResiliencePolicy":
         """A copy with the given fields replaced (None values kept)."""

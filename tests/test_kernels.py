@@ -14,7 +14,6 @@ import re
 import numpy as np
 import pytest
 
-from repro import MajicSession
 from repro.faults.plan import (
     FaultPlan,
     SITE_KERNEL_COMPILE,
@@ -93,8 +92,8 @@ def test_generated_source_shape():
 # The JIT consumer
 # ----------------------------------------------------------------------
 
-def test_jit_emits_fused_kernel_call():
-    session = MajicSession()
+def test_jit_emits_fused_kernel_call(fresh_session):
+    session = fresh_session()
     session.add_source(AXPY)
     result = call_axpy(session)
     source = jit_source(session)
@@ -106,18 +105,18 @@ def test_jit_emits_fused_kernel_call():
     assert result == EXPECTED
 
 
-def test_fusion_escape_hatch_emits_plain_chain():
-    session = MajicSession(fusion=False)
+def test_fusion_escape_hatch_emits_plain_chain(fresh_session):
+    session = fresh_session(fusion=False)
     session.add_source(AXPY)
     result = call_axpy(session)
     assert "kernel_" not in jit_source(session)
     assert result == EXPECTED
 
 
-def test_fused_and_unfused_agree():
-    fused = MajicSession()
+def test_fused_and_unfused_agree(fresh_session):
+    fused = fresh_session()
     fused.add_source(AXPY)
-    unfused = MajicSession(fusion=False)
+    unfused = fresh_session(fusion=False)
     unfused.add_source(AXPY)
     assert call_axpy(fused) == call_axpy(unfused)
 
@@ -165,8 +164,8 @@ def test_dynamic_matcher_rejects_matmul_at_runtime():
 # Persistence and deopt
 # ----------------------------------------------------------------------
 
-def test_disk_cache_revives_kernels(tmp_path):
-    first = MajicSession(cache_dir=tmp_path)
+def test_disk_cache_revives_kernels(tmp_path, fresh_session):
+    first = fresh_session(cache_dir=tmp_path)
     first.add_source(AXPY)
     expected = call_axpy(first)
     kernels = set(first.repository._objects["axpy"][0].kernel_sources)
@@ -176,7 +175,7 @@ def test_disk_cache_revives_kernels(tmp_path):
     # A "new process": the in-memory kernel cache is empty, but the
     # compiled object loaded from disk re-registers its kernel sources.
     KERNEL_CACHE.clear()
-    second = MajicSession(cache_dir=tmp_path)
+    second = fresh_session(cache_dir=tmp_path)
     second.add_source(AXPY)
     assert call_axpy(second) == expected
     assert second.repository.stats.cache_hits >= 1
@@ -185,8 +184,8 @@ def test_disk_cache_revives_kernels(tmp_path):
         assert KERNEL_CACHE.lookup(name) is not None
 
 
-def test_missing_kernel_deopts_to_interpreter():
-    session = MajicSession()
+def test_missing_kernel_deopts_to_interpreter(fresh_session):
+    session = fresh_session()
     session.add_source(AXPY)
     assert call_axpy(session) == EXPECTED          # compiles and binds
     # Sabotage: the compiled code references a kernel the cache lost and
@@ -214,18 +213,18 @@ def test_unknown_kernel_attribute_error():
 # Fault injection
 # ----------------------------------------------------------------------
 
-def test_kernel_compile_fault_falls_back_to_interpreter():
+def test_kernel_compile_fault_falls_back_to_interpreter(fresh_session):
     plan = FaultPlan.kernel_fault(site=SITE_KERNEL_COMPILE, hit=1)
     KERNEL_CACHE.clear()
-    session = MajicSession(fault_plan=plan)
+    session = fresh_session(fault_plan=plan)
     session.add_source(AXPY)
     assert call_axpy(session) == EXPECTED
     assert session.repository.stats.compile_failures >= 1
 
 
-def test_kernel_run_fault_deopts():
+def test_kernel_run_fault_deopts(fresh_session):
     plan = FaultPlan.kernel_fault(site=SITE_KERNEL_RUN, hit=1)
-    session = MajicSession(fault_plan=plan)
+    session = fresh_session(fault_plan=plan)
     session.add_source(AXPY)
     assert call_axpy(session) == EXPECTED
     assert session.repository.stats.deopts >= 1
@@ -236,9 +235,9 @@ def test_kernel_run_fault_deopts():
 # Observability
 # ----------------------------------------------------------------------
 
-def test_kernel_metrics_exposed():
+def test_kernel_metrics_exposed(fresh_session):
     KERNEL_CACHE.clear()
-    session = MajicSession(metrics=True)
+    session = fresh_session(metrics=True)
     session.add_source(AXPY)
     call_axpy(session)
     text = session.metrics_text()

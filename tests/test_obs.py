@@ -33,8 +33,9 @@ y = poly(x) + poly(x + 1);
 """
 
 
-def traced_session() -> MajicSession:
-    session = MajicSession(trace=True, metrics=True)
+@pytest.fixture
+def traced_session(fresh_session) -> MajicSession:
+    session = fresh_session(trace=True, metrics=True)
     session.add_source(POLY)
     session.add_source(CALLER)
     return session
@@ -43,24 +44,24 @@ def traced_session() -> MajicSession:
 # ----------------------------------------------------------------------
 # Span emission around the compile pipeline
 # ----------------------------------------------------------------------
-def test_jit_compile_emits_phase_spans():
-    session = traced_session()
+def test_jit_compile_emits_phase_spans(traced_session):
+    session = traced_session
     assert session.call("poly", 4.0) == pytest.approx(1038.0)
     cats = {span.category for span in session.obs.tracer.spans()}
     assert {"parse", "compile", "disambiguation", "type_inference",
             "codegen", "execution"} <= cats
 
 
-def test_execution_span_carries_tier():
-    session = traced_session()
+def test_execution_span_carries_tier(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     execs = [s for s in session.obs.tracer.spans() if s.category == "execution"]
     assert execs and execs[-1].name == "poly"
     assert execs[-1].args["tier"] in ("jit", "spec", "interpreter")
 
 
-def test_phase_spans_are_children_of_compile_span():
-    session = traced_session()
+def test_phase_spans_are_children_of_compile_span(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     spans = session.obs.tracer.spans()
     compile_ids = {s.span_id for s in spans if s.category == "compile"}
@@ -73,8 +74,8 @@ def test_phase_spans_are_children_of_compile_span():
 # ----------------------------------------------------------------------
 # Chrome-trace export schema
 # ----------------------------------------------------------------------
-def test_chrome_trace_json_schema():
-    session = traced_session()
+def test_chrome_trace_json_schema(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     doc = json.loads(session.trace_json())          # parseable
     events = doc["traceEvents"]
@@ -94,8 +95,8 @@ def test_chrome_trace_json_schema():
     assert any(m["args"]["name"] == "MainThread" for m in meta)
 
 
-def test_chrome_trace_preserves_parent_links():
-    session = traced_session()
+def test_chrome_trace_preserves_parent_links(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     doc = chrome_trace(session.obs.tracer)
     by_id = {
@@ -112,8 +113,8 @@ def test_chrome_trace_preserves_parent_links():
 # ----------------------------------------------------------------------
 # Cross-thread parentage (background speculation workers)
 # ----------------------------------------------------------------------
-def test_background_worker_span_parented_to_speculate_async():
-    session = traced_session()
+def test_background_worker_span_parented_to_speculate_async(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     assert session.speculate_async() > 0
     assert session.drain_speculation(timeout=30)
@@ -132,8 +133,8 @@ def test_background_worker_span_parented_to_speculate_async():
 # ----------------------------------------------------------------------
 # Profiler ↔ breakdown consistency (one timing substrate)
 # ----------------------------------------------------------------------
-def test_breakdown_matches_profiler_within_1pct():
-    session = MajicSession()
+def test_breakdown_matches_profiler_within_1pct(fresh_session):
+    session = fresh_session()
     session.add_source(POLY)
     session.add_source(CALLER)
     session.profile("on")
@@ -148,10 +149,10 @@ def test_breakdown_matches_profiler_within_1pct():
     )
 
 
-def test_profiler_rows_split_by_tier():
+def test_profiler_rows_split_by_tier(fresh_session):
     # Inlining would fold poly into caller's body; disable it so the
     # nested call produces its own execution spans (and its own row).
-    session = MajicSession(trace=True, inline_enabled=False)
+    session = fresh_session(trace=True, inline_enabled=False)
     session.add_source(POLY)
     session.add_source(CALLER)
     session.profile("on")
@@ -168,8 +169,8 @@ def test_profiler_rows_split_by_tier():
     assert "poly" in rendered and "TOTAL" in rendered
 
 
-def test_profile_on_off_restores_disabled_tracer():
-    session = MajicSession()          # no trace requested
+def test_profile_on_off_restores_disabled_tracer(fresh_session):
+    session = fresh_session()          # no trace requested
     assert session.obs.tracer is NULL_TRACER
     session.profile("on")
     assert session.obs.tracer.enabled
@@ -177,8 +178,8 @@ def test_profile_on_off_restores_disabled_tracer():
     assert not session.obs.tracer.enabled
 
 
-def test_profile_rejects_unknown_action():
-    session = MajicSession()
+def test_profile_rejects_unknown_action(fresh_session):
+    session = fresh_session()
     with pytest.raises(ValueError):
         session.profile("sideways")
 
@@ -186,8 +187,8 @@ def test_profile_rejects_unknown_action():
 # ----------------------------------------------------------------------
 # The disabled path allocates no spans
 # ----------------------------------------------------------------------
-def test_disabled_observability_allocates_no_spans():
-    session = MajicSession()
+def test_disabled_observability_allocates_no_spans(fresh_session):
+    session = fresh_session()
     session.add_source(POLY)
     session.call("poly", 2.0)         # warm: compile outside the window
     tracemalloc.start()
@@ -214,8 +215,8 @@ def test_null_tracer_span_is_shared_instance():
 # ----------------------------------------------------------------------
 # Tree rendering, self-time substrate, session summary
 # ----------------------------------------------------------------------
-def test_render_tree_indents_children():
-    session = traced_session()
+def test_render_tree_indents_children(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     tree = session.trace_tree()
     assert "- jit_compile [compile]" in tree
@@ -236,8 +237,8 @@ def test_self_times_subtracts_direct_children():
     )
 
 
-def test_session_summary_reports_health():
-    session = traced_session()
+def test_session_summary_reports_health(traced_session):
+    session = traced_session
     session.call("poly", 4.0)
     text = session.summary()
     assert "MaJIC session summary" in text
@@ -245,8 +246,8 @@ def test_session_summary_reports_health():
     assert "trace=on" in text and "metrics=on" in text
 
 
-def test_summary_on_untraced_session():
-    session = MajicSession()
+def test_summary_on_untraced_session(fresh_session):
+    session = fresh_session()
     session.add_source(POLY)
     session.call("poly", 2.0)
     text = session.summary()
