@@ -1,10 +1,14 @@
 """Record the observability overhead baseline (BENCH_obs.json).
 
-Measures one fixed call-heavy workload three ways — observability off
-(the default null recorders), trace+metrics on, and metrics only — and
-writes best-of-N wall times plus overhead ratios.  The recorded
-``off_s`` is the regression baseline ISSUE 3 holds future sessions to:
-the obs-disabled path must stay within a few percent of it.
+Measures one fixed call-heavy workload under each recorder
+configuration — observability off (the default null recorders), metrics
+only, trace+metrics, and the always-on crash flight recorder — plus a
+fixed ``parallel=2`` workload with and without distributed tracing, and
+writes best-of-N wall times with overhead ratios.  The recorded
+``off_s`` is the regression baseline ISSUE 3 holds future sessions to
+(the obs-disabled path must stay within a few percent of it), and
+``flight_overhead`` is held to the ≤1.05 hot-path bar: the flight
+recorder is meant to be left on in production.
 
 Usage::
 
@@ -16,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform as host_platform
+import tempfile
 import time
 
 from repro import MajicSession
@@ -30,13 +35,29 @@ function y = step(x)
 y = poly(x) + poly(x + 1) - poly(x - 1);
 """
 
+#: Replicated across ranks by the parallel driver (row-distributable
+#: result), so each call is one full scatter/cross-check/gather round.
+SHEET = """
+function A = sheet(n)
+A = zeros(n, 4);
+for i = 1:n,
+  A(i, 1) = i;
+  A(i, 2) = i * i;
+  A(i, 3) = i + 0.5;
+  A(i, 4) = i - 0.25;
+end
+"""
+
 CALLS = 3000
+PARALLEL_CALLS = 30
 
 
-def run_once(trace: bool, metrics: bool) -> float:
+def run_once(trace: bool, metrics: bool, flight=None) -> float:
     """Wall time of the fixed workload under one recorder configuration
     (compile warm-up excluded — this measures per-call overhead)."""
-    session = MajicSession(trace=trace, metrics=metrics, inline_enabled=False)
+    session = MajicSession(
+        trace=trace, metrics=metrics, flight=flight, inline_enabled=False,
+    )
     session.add_source(POLY)
     session.add_source(STEP)
     session.call("step", 1.0)          # warm: compile outside the window
@@ -46,36 +67,70 @@ def run_once(trace: bool, metrics: bool) -> float:
     return time.perf_counter() - start
 
 
-def best_of(repeats: int, trace: bool, metrics: bool) -> float:
-    return min(run_once(trace, metrics) for _ in range(repeats))
+def run_parallel_once(trace: bool) -> float:
+    """Wall time of a fixed ``parallel=2`` workload, with the workers
+    shipping spans/metrics back per reply when tracing is on."""
+    session = MajicSession(
+        parallel=2, trace=trace, metrics=trace, inline_enabled=False,
+    )
+    try:
+        session.add_source(SHEET)
+        session.call("sheet", 32.0)    # warm: compile + first round trip
+        start = time.perf_counter()
+        for _ in range(PARALLEL_CALLS):
+            session.call("sheet", 32.0)
+        return time.perf_counter() - start
+    finally:
+        session.close()
+
+
+def best_of(repeats: int, runner, *args, **kwargs) -> float:
+    return min(runner(*args, **kwargs) for _ in range(repeats))
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--parallel-repeats", type=int, default=3)
     parser.add_argument("--out", default="BENCH_obs.json")
     options = parser.parse_args(argv)
 
-    off = best_of(options.repeats, trace=False, metrics=False)
-    metrics_only = best_of(options.repeats, trace=False, metrics=True)
-    full = best_of(options.repeats, trace=True, metrics=True)
+    off = best_of(options.repeats, run_once, trace=False, metrics=False)
+    metrics_only = best_of(options.repeats, run_once, trace=False,
+                           metrics=True)
+    full = best_of(options.repeats, run_once, trace=True, metrics=True)
+    with tempfile.TemporaryDirectory() as dump_dir:
+        flight = best_of(options.repeats, run_once, trace=False,
+                         metrics=False, flight=dump_dir)
+    parallel_off = best_of(options.parallel_repeats, run_parallel_once,
+                           trace=False)
+    parallel_trace = best_of(options.parallel_repeats, run_parallel_once,
+                             trace=True)
 
     result = {
         "workload": f"{CALLS} nested jit calls (step -> 3x poly), best of "
                     f"{options.repeats}",
+        "parallel_workload": f"{PARALLEL_CALLS} replicated parallel=2 calls "
+                             f"(sheet 32x4), best of "
+                             f"{options.parallel_repeats}",
         "python": host_platform.python_version(),
         "machine": host_platform.machine(),
         "off_s": round(off, 6),
         "metrics_s": round(metrics_only, 6),
         "trace_metrics_s": round(full, 6),
+        "flight_s": round(flight, 6),
+        "parallel_off_s": round(parallel_off, 6),
+        "parallel_trace_s": round(parallel_trace, 6),
         "metrics_overhead": round(metrics_only / off, 4),
         "trace_metrics_overhead": round(full / off, 4),
+        "flight_overhead": round(flight / off, 4),
+        "parallel_trace_overhead": round(parallel_trace / parallel_off, 4),
     }
     with open(options.out, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
     for key, value in result.items():
-        print(f"{key:>24}: {value}")
+        print(f"{key:>26}: {value}")
     return 0
 
 

@@ -24,7 +24,13 @@ from repro.codegen.jitgen import JitOptions
 from repro.codegen.srcgen import SrcOptions
 from repro.core.platformcfg import AblationFlags, PlatformConfig, platform_by_name
 from repro.interp.frontend import Invocation, MajicFrontEnd
-from repro.obs import Observability, Profiler, chrome_trace_json, prometheus_text
+from repro.obs import (
+    FlightRecorder,
+    Observability,
+    Profiler,
+    chrome_trace_json,
+    prometheus_text,
+)
 from repro.repository.background import SpeculationEngine
 from repro.repository.cache import DEFAULT_CACHE_DIR, RepositoryCache
 from repro.repository.repo import CodeRepository, CompileBudget
@@ -78,6 +84,8 @@ class MajicSession:
         diagnostics_capacity: int | None = None,
         parallel: int | None = None,
         parallel_transport: str = "file",
+        flight=None,
+        serve_metrics: int | None = None,
     ):
         if isinstance(platform, str):
             platform = platform_by_name(platform)
@@ -109,7 +117,18 @@ class MajicSession:
         # Observability: a per-session switchboard (null recorders unless
         # trace/metrics asked for them), shared by the repository, the
         # compilers it constructs and the background workers.
-        self.obs = Observability(trace=trace, metrics=metrics)
+        # The crash flight recorder: flight=True keeps breadcrumbs and
+        # dumps postmortem bundles into the default ~/.pymajic/postmortem
+        # directory; a path dumps there instead; None/False disables it
+        # (the null recorder costs one attribute check).
+        flight_recorder = None
+        if flight:
+            flight_recorder = FlightRecorder(
+                dump_dir=None if flight is True else flight
+            )
+        self.obs = Observability(
+            trace=trace, metrics=metrics, flight=flight_recorder
+        )
         self._profiler = Profiler(self.obs)
         # Disk persistence: cache_dir=True selects ~/.pymajic/cache; a
         # path (str/Path) selects that directory; None disables it.
@@ -147,6 +166,10 @@ class MajicSession:
             diagnostics_capacity=diagnostics_capacity,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
+        # The flight recorder breadcrumbs every diagnostic and writes a
+        # postmortem bundle on deopts, watchdog timeouts, sandbox deaths,
+        # poison tasks and parallel-rank failures (repro.obs.flight).
+        self.obs.flight.attach(self.obs, self.repository.diagnostics)
         # Background speculation: a daemon worker pool (lazily started by
         # speculate_async when background=False was given here).
         self._workers = workers or platform.speculation_workers
@@ -183,6 +206,14 @@ class MajicSession:
             )
         if seed is not None:
             GLOBAL_RANDOM.seed(seed)
+        # Live observability endpoint: serve_metrics=PORT exposes
+        # /metrics, /healthz and /trace on a loopback daemon thread
+        # (port 0 picks an ephemeral port; see session.obs_server.port).
+        self.obs_server = None
+        if serve_metrics is not None:
+            from repro.obs.server import ObsServer
+
+            self.obs_server = ObsServer(self, port=int(serve_metrics))
 
     # ------------------------------------------------------------------
     # Source management
@@ -269,6 +300,9 @@ class MajicSession:
         if self._closed:
             return
         self._closed = True
+        if self.obs_server is not None:
+            self.obs_server.close()
+            self.obs_server = None
         if self.parallel is not None:
             self.parallel.shutdown()
             self.parallel = None

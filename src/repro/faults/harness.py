@@ -281,9 +281,14 @@ def parallel_scenarios() -> list[ChaosScenario]:
 def run_parallel_chaos(
     names: list[str] | None = None,
     scales: dict[str, tuple] | None = None,
+    trace: bool = False,
 ) -> list[DifferentialOutcome]:
     """Every benchmark × every parallel fault scenario, with two worker
-    ranks, asserted bit-identical against the pure interpreter."""
+    ranks, asserted bit-identical against the pure interpreter.
+
+    ``trace=True`` runs the faulted sessions with distributed tracing
+    and metrics on — results must stay bit-identical with the ranks
+    shipping spans back, or observability is changing behavior."""
     names = names or benchmark_names()
     scales = scales or SMALL_SCALES
     outcomes: list[DifferentialOutcome] = []
@@ -291,8 +296,11 @@ def run_parallel_chaos(
         baseline = interpreter_baseline(name, scales.get(name))
         for scenario in parallel_scenarios():
             plan = scenario.plan()
+            kwargs = dict(scenario.session_kwargs)
+            if trace:
+                kwargs.update(trace=True, metrics=True)
             faulted, session = run_with_faults(
-                name, plan, scales.get(name), **scenario.session_kwargs,
+                name, plan, scales.get(name), **kwargs,
             )
             outcomes.append(
                 DifferentialOutcome(
@@ -311,9 +319,11 @@ def run_parallel_chaos(
 def run_chaos(
     names: list[str] | None = None,
     scales: dict[str, tuple] | None = None,
+    trace: bool = False,
 ) -> list[DifferentialOutcome]:
     """The chaos sweep: every benchmark × every supervision scenario,
-    asserted bit-identical against the pure interpreter."""
+    asserted bit-identical against the pure interpreter.  ``trace=True``
+    runs the faulted sessions with tracing and metrics on."""
     names = names or benchmark_names()
     scales = scales or SMALL_SCALES
     outcomes: list[DifferentialOutcome] = []
@@ -322,6 +332,8 @@ def run_chaos(
         for scenario in chaos_scenarios():
             plan = scenario.plan()
             kwargs = dict(scenario.session_kwargs)
+            if trace:
+                kwargs.update(trace=True, metrics=True)
             tmpdir = None
             if scenario.warm_cache:
                 tmpdir = tempfile.mkdtemp(prefix="majic-chaos-")
@@ -425,7 +437,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", action="store_true",
         help="run a final observed (fault-free) pass with span tracing on "
-             "and print the session summary",
+             "and print the session summary; with --chaos/--parallel the "
+             "sweep's faulted sessions also run traced (bit-identity must "
+             "hold with distributed tracing enabled)",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -444,9 +458,9 @@ def main(argv: list[str] | None = None) -> int:
     if names is None and options.smoke:
         names = ["fibonacci", "dirich", "cgopt", "fractal"]
     if options.parallel:
-        outcomes = run_parallel_chaos(names=names)
+        outcomes = run_parallel_chaos(names=names, trace=options.trace)
     elif options.chaos:
-        outcomes = run_chaos(names=names)
+        outcomes = run_chaos(names=names, trace=options.trace)
     else:
         outcomes = run_differential(names=names, background=options.background)
     failures = 0

@@ -32,6 +32,13 @@ from repro.obs.export_chrome import (
     write_chrome_trace,
 )
 from repro.obs.export_prom import prometheus_text, write_prometheus
+from repro.obs.flight import (
+    DUMP_KINDS,
+    FlightRecorder,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    load_bundle,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -44,20 +51,31 @@ from repro.obs.profiler import (
     FunctionProfile,
     Profiler,
     ProfileReport,
+    RankAttribution,
+    rank_attribution,
     report_from_spans,
 )
+from repro.obs.server import ObsServer
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    merge_remote_spans,
     self_times,
+    serialize_spans,
 )
 
 #: Execution-tier label values used across spans, metrics and reports.
 TIER_INTERPRETER = "interpreter"
 TIER_JIT = "jit"
 TIER_SPEC = "spec"
+
+#: Metrics the diagnostics->metrics bridge derives from events; excluded
+#: from cross-rank merges because surfaced rank diagnostics re-derive them.
+_LISTENER_DERIVED = frozenset({
+    "majic_events_total", "majic_deopt_total", "majic_quarantine_total",
+})
 
 
 class Observability:
@@ -69,10 +87,23 @@ class Observability:
     the metrics and the trace stream without any extra call sites.
     """
 
-    def __init__(self, trace: bool = False, metrics: bool = False):
-        self.tracer = Tracer() if trace else NULL_TRACER
+    def __init__(
+        self,
+        trace: bool = False,
+        metrics: bool = False,
+        flight=None,
+        trace_id: str | None = None,
+    ):
+        self.tracer = Tracer(trace_id=trace_id) if trace else NULL_TRACER
         self.metrics = MetricsRegistry() if metrics else NULL_METRICS
+        # The crash flight recorder (repro.obs.flight); NULL_FLIGHT keeps
+        # the disabled path a no-op attribute away.
+        self.flight = flight if flight is not None else NULL_FLIGHT
         self._bound_logs: list = []
+        # Per-rank remote->local span id maps for merged distributed
+        # traces (persistent, so later batches can reference earlier
+        # parents).
+        self._rank_idmaps: dict[int, dict[int, int]] = {}
         self._rebuild_instruments()
 
     # ------------------------------------------------------------------
@@ -269,6 +300,54 @@ class Observability:
         self._watchdog_timeouts.inc(kind=kind)
 
     # ------------------------------------------------------------------
+    # Cross-rank absorption (the distributed-tracing merge point)
+    # ------------------------------------------------------------------
+    def absorb_rank(self, batch: dict, diagnostics=None,
+                    default_parent: int | None = None) -> None:
+        """Fold one worker rank's shipped observability payload in.
+
+        ``batch`` is the dict a rank attaches to its task reply: a span
+        buffer (:func:`~repro.obs.trace.serialize_spans`), a structured
+        metrics delta (:meth:`MetricsRegistry.delta`) and the rank's new
+        :class:`DiagnosticEvent` records.  Spans merge into the parent
+        tracer under ``default_parent`` (the parent-side span that
+        dispatched the task), metric deltas fold into the parent registry
+        without double counting, and diagnostics surface into the parent
+        log with the originating ``rank`` attached.
+        """
+        if not batch:
+            return
+        rank = int(batch.get("rank", 0))
+        if self.tracer.enabled and batch.get("spans"):
+            idmap = self._rank_idmaps.setdefault(rank, {})
+            merge_remote_spans(
+                self.tracer, batch, idmap, default_parent=default_parent
+            )
+        if self.metrics.enabled and batch.get("metrics"):
+            delta = batch["metrics"]
+            if diagnostics is not None:
+                # Surfacing the rank's diagnostics below re-fires the
+                # parent's diagnostics->metrics bridge, which already
+                # counts these; merging the rank's own listener-derived
+                # counters too would double-count every event.
+                delta = {
+                    name: entry for name, entry in delta.items()
+                    if name not in _LISTENER_DERIVED
+                }
+            self.metrics.merge(delta)
+        if diagnostics is not None:
+            for event in batch.get("diagnostics", ()):
+                diagnostics.record(
+                    event.get("kind", "unknown"),
+                    event.get("function", ""),
+                    detail=event.get("detail", ""),
+                    cause=event.get("cause", ""),
+                    signature=event.get("signature", ""),
+                    rank=rank,
+                    wall_time=event.get("wall_time"),
+                )
+
+    # ------------------------------------------------------------------
     # Diagnostics bridge
     # ------------------------------------------------------------------
     def bind_diagnostics(self, log) -> None:
@@ -303,6 +382,16 @@ DISABLED = Observability()
 __all__ = [
     "Observability",
     "DISABLED",
+    "DUMP_KINDS",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "ObsServer",
+    "RankAttribution",
+    "load_bundle",
+    "merge_remote_spans",
+    "rank_attribution",
+    "serialize_spans",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

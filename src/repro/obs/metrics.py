@@ -168,6 +168,14 @@ class _HistogramChild:
                 if value <= bound:
                     self.counts[index] += 1
 
+    def absorb(self, counts, sum_delta: float, count_delta: int) -> None:
+        """Fold a shipped bucket-count delta in (cross-rank merge)."""
+        with self._lock:
+            for index, delta in enumerate(counts[: len(self.counts)]):
+                self.counts[index] += delta
+            self.sum += sum_delta
+            self.count += count_delta
+
     def cumulative(self) -> list[tuple[float, int]]:
         """(upper-bound, cumulative count) pairs, ``+Inf`` last."""
         with self._lock:
@@ -229,16 +237,120 @@ class MetricsRegistry:
         with self._lock:
             return list(self._metrics.values())
 
-    def snapshot(self) -> dict[str, dict[tuple, float]]:
+    def snapshot(self, structured: bool = False) -> dict:
         """Plain numbers for assertions: counters/gauges map label tuples
-        to values, histograms to their running sums."""
-        out: dict[str, dict[tuple, float]] = {}
+        to values, histograms to their running sums.
+
+        ``structured=True`` returns the full-fidelity form used by the
+        cross-rank delta/merge protocol: per metric, its kind/help/
+        labelnames (and buckets), plus every child's complete state —
+        histogram bucket counts included, so bucket-level deltas fold into
+        the parent exactly.
+        """
+        if not structured:
+            out: dict[str, dict[tuple, float]] = {}
+            for metric in self.collect():
+                values: dict[tuple, float] = {}
+                for key, child in metric.samples():
+                    values[key] = (
+                        child.sum if metric.kind == "histogram" else child.value
+                    )
+                out[metric.name] = values
+            return out
+        state: dict[str, dict] = {}
         for metric in self.collect():
-            values: dict[tuple, float] = {}
+            children: dict[tuple, object] = {}
             for key, child in metric.samples():
-                values[key] = child.sum if metric.kind == "histogram" else child.value
-            out[metric.name] = values
+                if metric.kind == "histogram":
+                    with child._lock:
+                        children[key] = {
+                            "counts": list(child.counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                else:
+                    children[key] = child.value
+            entry: dict = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "children": children,
+            }
+            if metric.kind == "histogram":
+                entry["buckets"] = list(metric.buckets)
+            state[metric.name] = entry
+        return state
+
+    @staticmethod
+    def delta(base: dict, current: dict) -> dict:
+        """``current - base`` over two structured snapshots.
+
+        This is what a forked rank ships with each task reply: only what
+        changed since the previous shipment, so the parent's ``merge``
+        never double-counts fork-inherited or already-shipped values.
+        Gauges are point-in-time readings, not accumulations, and are
+        excluded (a rank's queue depth has no meaning added to the
+        parent's).
+        """
+        out: dict[str, dict] = {}
+        for name, entry in current.items():
+            if entry["kind"] == "gauge":
+                continue
+            base_children = base.get(name, {}).get("children", {})
+            children: dict[tuple, object] = {}
+            for key, value in entry["children"].items():
+                before = base_children.get(key)
+                if entry["kind"] == "histogram":
+                    if before is None:
+                        before = {"counts": [], "sum": 0.0, "count": 0}
+                    counts = [
+                        c - (before["counts"][i] if i < len(before["counts"])
+                             else 0)
+                        for i, c in enumerate(value["counts"])
+                    ]
+                    diff = {
+                        "counts": counts,
+                        "sum": value["sum"] - before["sum"],
+                        "count": value["count"] - before["count"],
+                    }
+                    if diff["count"] or any(counts) or diff["sum"]:
+                        children[key] = diff
+                else:
+                    moved = value - (before or 0.0)
+                    if moved:
+                        children[key] = moved
+            if children:
+                out[name] = {**entry, "children": children}
         return out
+
+    def merge(self, delta: dict) -> None:
+        """Fold a structured delta (from :meth:`delta`) into this registry.
+
+        Instruments are created on demand with the shipped kind, help,
+        labelnames and buckets; counter deltas ``inc`` and histogram
+        deltas land bucket-by-bucket, so the merged exposition is exactly
+        what one process observing both streams would have recorded.
+        """
+        for name, entry in delta.items():
+            labelnames = tuple(entry.get("labelnames", ()))
+            kind = entry["kind"]
+            if kind == "counter":
+                metric = self.counter(name, entry.get("help", ""), labelnames)
+                for key, value in entry["children"].items():
+                    if value > 0:
+                        metric.labels(**dict(zip(labelnames, key))).inc(value)
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, entry.get("help", ""), labelnames,
+                    buckets=tuple(entry.get("buckets", DEFAULT_BUCKETS)),
+                )
+                for key, value in entry["children"].items():
+                    child = metric.labels(**dict(zip(labelnames, key)))
+                    child.absorb(
+                        value["counts"], value["sum"], value["count"]
+                    )
+            # Gauges never travel (see delta()); unknown kinds are skipped
+            # rather than raised — a merge must not break the reply path.
 
 
 class _NullChild:
@@ -306,8 +418,15 @@ class NullMetrics:
     def collect(self) -> list:
         return []
 
-    def snapshot(self) -> dict:
+    def snapshot(self, structured: bool = False) -> dict:
         return {}
+
+    @staticmethod
+    def delta(base: dict, current: dict) -> dict:
+        return {}
+
+    def merge(self, delta: dict) -> None:
+        return None
 
 
 NULL_METRICS = NullMetrics()

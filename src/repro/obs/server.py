@@ -1,0 +1,137 @@
+"""``repro.obs.server`` — a live observability endpoint for one session.
+
+The multi-tenant compile server direction (ROADMAP) plans to scrape "the
+existing Prometheus metrics endpoint"; until now that endpoint was only a
+``metrics_text()`` string.  :class:`ObsServer` makes it a real scrape
+target: a stdlib :mod:`http.server` running on a daemon thread, wired as
+``MajicSession(serve_metrics=port)`` (port 0 binds an ephemeral port,
+exposed as ``session.obs_server.port``).
+
+Endpoints
+---------
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4) of the session's
+  registry, rendered at scrape time through the existing
+  :func:`~repro.obs.export_prom.prometheus_text`; includes every counter
+  merged back from parallel worker ranks.
+* ``GET /healthz`` — a JSON liveness/health document: pid, uptime,
+  recorded span/diagnostic counts, parallel rank liveness.
+* ``GET /trace`` — the current Chrome-trace JSON (the same document
+  ``session.trace_json()`` returns), so a browser or Perfetto can pull a
+  live distributed trace out of a running session.
+
+The server is read-only, binds loopback by default, handles each scrape
+on its own thread (``ThreadingHTTPServer``), and renders everything from
+thread-safe recorder snapshots — concurrent scrapes during execution are
+safe by construction (and property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export_chrome import chrome_trace_json
+from repro.obs.export_prom import prometheus_text
+
+#: Content type Prometheus scrapers expect from a text-format endpoint.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """One session's scrape endpoint (daemon thread, loopback by default)."""
+
+    def __init__(self, session, port: int = 0, host: str = "127.0.0.1"):
+        self.session = session
+        self.started = time.time()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # One session can serve many concurrent scrapers; keep the
+            # stdlib request log out of the session's stdout.
+            def log_message(self, format, *args):  # noqa: A002
+                return None
+
+            def _reply(self, status: int, content_type: str, body: str):
+                data = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        self._reply(
+                            200, PROM_CONTENT_TYPE,
+                            prometheus_text(outer.session.obs.metrics),
+                        )
+                    elif path == "/healthz":
+                        self._reply(
+                            200, "application/json",
+                            json.dumps(outer.health()) + "\n",
+                        )
+                    elif path == "/trace":
+                        self._reply(
+                            200, "application/json",
+                            chrome_trace_json(outer.session.obs.tracer),
+                        )
+                    else:
+                        self._reply(404, "text/plain", "not found\n")
+                except Exception as exc:  # noqa: BLE001 - scrape must not kill
+                    try:
+                        self._reply(500, "text/plain", f"error: {exc!r}\n")
+                    except Exception:  # noqa: BLE001 - client went away
+                        pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"majic-obs-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> dict:
+        session = self.session
+        parallel = getattr(session, "parallel", None)
+        ranks_alive = 0
+        if parallel is not None:
+            ranks_alive = sum(
+                1 for proc in parallel.procs.values() if proc.is_alive()
+            )
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started, 3),
+            "trace": session.obs.tracer.enabled,
+            "metrics": session.obs.metrics.enabled,
+            "spans": len(session.obs.tracer),
+            "diagnostics": len(session.repository.diagnostics),
+            "parallel_ranks_alive": ranks_alive,
+            "parallel_enabled": bool(parallel is not None and parallel.enabled),
+        }
+
+    def close(self) -> None:
+        """Stop serving; idempotent."""
+        httpd = self._httpd
+        if httpd is None:
+            return
+        self._httpd = None
+        try:
+            httpd.shutdown()
+            httpd.server_close()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+        self._thread.join(timeout=2.0)

@@ -29,13 +29,14 @@ and the docs; real code holds a :class:`Communicator`.
 from __future__ import annotations
 
 import collections
+import itertools
 import time
 
 from repro.faults.plan import (
     SITE_PARALLEL_RECV,
     SITE_PARALLEL_SEND,
 )
-from repro.parallel.message import make
+from repro.parallel.message import TraceContext, make
 from repro.parallel.transport import Transport
 
 
@@ -61,15 +62,31 @@ class Communicator:
         self.transport = transport
         self.fault_plan = fault_plan
         self.obs = obs
-        # Buffered out-of-order arrivals: (src, tag) -> FIFO of payloads.
+        # Buffered out-of-order arrivals: (src, tag) -> FIFO of envelopes
+        # (the envelope is kept whole so its trace context survives
+        # buffering and the receive span can still emit its flow event).
         self._buffer: dict[tuple[int, int], collections.deque] = (
             collections.defaultdict(collections.deque)
         )
+        # Per-sender message sequence for globally unique flow ids.
+        self._msg_seq = itertools.count(1)
 
     # ------------------------------------------------------------------
+    def _tracer(self):
+        tracer = getattr(self.obs, "tracer", None)
+        return tracer if tracer is not None and tracer.enabled else None
+
     def send(self, dst: int, tag: int, value) -> None:
         """Ship ``value`` to ``dst`` under ``tag`` (MPI_Send)."""
-        envelope = make(self.rank, dst, tag, value)
+        tracer = self._tracer()
+        trace = None
+        if tracer is not None:
+            trace = TraceContext(
+                trace_id=tracer.trace_id,
+                parent_span=tracer.current_id() or 0,
+                msg_id=f"{self.rank}.{next(self._msg_seq)}",
+            )
+        envelope = make(self.rank, dst, tag, value, trace=trace)
         plan = self.fault_plan
         if plan is not None and plan.fires(SITE_PARALLEL_SEND):
             # The spool file was lost in flight: the sender believes the
@@ -78,7 +95,14 @@ class Communicator:
             if self.obs is not None:
                 self.obs.record_parallel_message("dropped", envelope.nbytes)
             return
+        started = tracer.rel_now() if tracer is not None else 0.0
         self.transport.send(envelope)
+        if tracer is not None:
+            tracer.complete(
+                "MPI_Send", "mpi", started, tracer.rel_now() - started,
+                dst=dst, tag=tag, nbytes=envelope.nbytes,
+                flow="s", flow_id=trace.msg_id,
+            )
         if self.obs is not None:
             self.obs.record_parallel_message("sent", envelope.nbytes)
 
@@ -95,11 +119,12 @@ class Communicator:
         plan = self.fault_plan
         if plan is not None and fault_check:
             plan.check(SITE_PARALLEL_RECV)
+        tracer = self._tracer()
+        started = tracer.rel_now() if tracer is not None else 0.0
         key = (src, tag)
         box = self._buffer.get(key)
         if box:
-            payload = box.popleft()
-            return self._deliver(payload)
+            return self._deliver(box.popleft(), tracer, started)
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             remaining = None
@@ -114,15 +139,27 @@ class Communicator:
             if envelope is None:
                 continue  # loop re-checks the deadline
             if (envelope.src, envelope.tag) == key:
-                return self._deliver(envelope.payload)
-            self._buffer[(envelope.src, envelope.tag)].append(envelope.payload)
+                return self._deliver(envelope, tracer, started)
+            self._buffer[(envelope.src, envelope.tag)].append(envelope)
 
-    def _deliver(self, payload: bytes):
+    def _deliver(self, envelope, tracer=None, started: float = 0.0):
         from repro.parallel.message import decode_value
 
+        if tracer is not None:
+            args = {
+                "src": envelope.src, "tag": envelope.tag,
+                "nbytes": envelope.nbytes,
+            }
+            if envelope.trace is not None:
+                args["flow"] = "f"
+                args["flow_id"] = envelope.trace.msg_id
+            tracer.complete(
+                "MPI_Recv", "mpi", started, tracer.rel_now() - started,
+                **args,
+            )
         if self.obs is not None:
-            self.obs.record_parallel_message("received", len(payload))
-        return decode_value(payload)
+            self.obs.record_parallel_message("received", envelope.nbytes)
+        return decode_value(envelope.payload)
 
     # ------------------------------------------------------------------
     def bcast(self, root: int, tag: int, value=None, timeout=None):
@@ -141,7 +178,7 @@ class Communicator:
         envelope = self.transport.recv_any(self.rank, timeout=0)
         if envelope is None:
             return False
-        self._buffer[(envelope.src, envelope.tag)].append(envelope.payload)
+        self._buffer[(envelope.src, envelope.tag)].append(envelope)
         return bool(self._buffer.get((src, tag)))
 
     def drain(self, src: int, tag: int) -> int:
@@ -157,9 +194,7 @@ class Communicator:
             if (envelope.src, envelope.tag) == (src, tag):
                 dropped += 1
             else:
-                self._buffer[(envelope.src, envelope.tag)].append(
-                    envelope.payload
-                )
+                self._buffer[(envelope.src, envelope.tag)].append(envelope)
 
 
 # ----------------------------------------------------------------------

@@ -55,9 +55,12 @@ class DiagnosticEvent:
     seq: int = 0          # monotonic per-session sequence number
     wall_time: float = 0.0  # time.time() at record (log shipping)
     thread: str = ""      # recording thread's name (worker attribution)
+    rank: int = 0         # parallel rank that produced the event (0 = session)
 
     def __str__(self) -> str:
         parts = [f"[{self.seq}] {self.kind} {self.function}"]
+        if self.rank:
+            parts.append(f"rank={self.rank}")
         if self.signature:
             parts.append(f"sig={self.signature}")
         if self.detail:
@@ -103,6 +106,8 @@ class DiagnosticsLog:
         detail: str = "",
         cause: BaseException | str | None = None,
         signature: object = "",
+        rank: int = 0,
+        wall_time: float | None = None,
     ) -> DiagnosticEvent:
         with self._lock:
             self._seq += 1
@@ -113,8 +118,9 @@ class DiagnosticsLog:
                 cause=repr(cause) if isinstance(cause, BaseException) else (cause or ""),
                 signature=str(signature) if signature else "",
                 seq=self._seq,
-                wall_time=time.time(),
+                wall_time=time.time() if wall_time is None else wall_time,
                 thread=threading.current_thread().name,
+                rank=int(rank),
             )
             self._events.append(event)
             while len(self._events) > self.capacity:
