@@ -1,10 +1,16 @@
 """Record the fused-kernel performance baseline (BENCH_perf.json).
 
-Times each workload under three engines — the interpreter (the paper's
+Times each workload under four engines — the interpreter (the paper's
 t_i baseline), the JIT with elementwise fusion disabled
-(``MajicSession(fusion=False)``), and the JIT with fusion on (the
-default) — and writes per-workload wall times plus geometric-mean
-speedups.  Two workload families run:
+(``MajicSession(fusion=False)``), the JIT with fusion on (the
+default), and the native tier (``MajicSession(native=True)``) serving
+fused kernels from autotuned ``.so`` artifacts — and writes
+per-workload wall times plus geometric-mean speedups.  The native
+column times a *warm* session against an artifact store a prior
+session populated, so it measures the steady state the cache
+guarantees: zero native recompiles.  Without a C toolchain the column
+records ``toolchain: none`` honestly and skips itself.  Two workload
+families run:
 
 * **Table 1 programs** that the static matcher fuses as-is (qmr, sor,
   orbec): whole-program speedups, where fusion is one factor among
@@ -34,6 +40,8 @@ import argparse
 import json
 import math
 import platform as host_platform
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -44,6 +52,7 @@ from repro.core.majic import MajicSession, ensure_recursion_limit
 from repro.frontend.parser import parse
 from repro.interp.interpreter import Interpreter
 from repro.kernels.cache import KERNEL_CACHE
+from repro.native import detect_toolchain
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.values import from_python
@@ -99,8 +108,13 @@ end
 def derived_workloads(quick: bool) -> dict:
     n = 32 if quick else 48
     steps = 60 if quick else 400
-    rng = np.random.default_rng(5)
-    vec = lambda seed: np.random.default_rng(seed).random((1, n)) + 0.5
+    # The native-regime variants: same update cores on vectors past the
+    # native tier's size cutoff, where one compiled traversal replaces a
+    # chain of temporary-allocating numpy ops.
+    n_xl = 16384 if quick else 65536
+    steps_xl = 4 if quick else 10
+    vec = lambda seed, count=n: (
+        np.random.default_rng(seed).random((1, count)) + 0.5)
     return {
         "qmr_axpy": {
             "sources": [QMR_AXPY],
@@ -117,6 +131,17 @@ def derived_workloads(quick: bool) -> dict:
             "sources": [CRNICH_STEP],
             "entry": "crnich_step",
             "args": [vec(8), vec(9), 0.01, float(steps)],
+        },
+        "qmr_axpy_xl": {
+            "sources": [QMR_AXPY],
+            "entry": "qmr_axpy",
+            "args": [vec(1, n_xl), vec(2, n_xl), vec(3, n_xl),
+                     0.0005, 0.0003, float(steps_xl)],
+        },
+        "crnich_step_xl": {
+            "sources": [CRNICH_STEP],
+            "entry": "crnich_step",
+            "args": [vec(8, n_xl), vec(9, n_xl), 0.01, float(steps_xl)],
         },
     }
 
@@ -188,6 +213,43 @@ def time_jit(spec: dict, repeats: int, fusion: bool) -> tuple[float, float]:
     return best, digest
 
 
+def time_native(spec: dict, repeats: int, store_dir: str) -> tuple:
+    """Warm-session native timing: ``(best_s, digest, native_stats)``.
+
+    A first (untimed) session populates the content-addressed artifact
+    store; the timed session then revives every ``.so`` from disk — its
+    ``compiled`` count must be zero, which is the warm-start guarantee
+    BENCH_perf.json records.
+    """
+    def native_session() -> MajicSession:
+        return MajicSession(native=True, native_sync=True,
+                            native_hot_threshold=1, cache_dir=store_dir)
+
+    session = native_session()
+    for text in spec["sources"]:
+        session.add_source(text)
+    GLOBAL_RANDOM.seed(0)
+    session.call_boxed(spec["entry"], boxed_args(spec), nargout=1)
+    session.close()
+
+    session = native_session()
+    for text in spec["sources"]:
+        session.add_source(text)
+    args = boxed_args(spec)
+    GLOBAL_RANDOM.seed(0)
+    outputs = session.call_boxed(spec["entry"], args, nargout=1)  # warm: loads
+    digest = checksum(outputs[0])
+    best = math.inf
+    for _ in range(repeats):
+        GLOBAL_RANDOM.seed(0)
+        start = time.perf_counter()
+        session.call_boxed(spec["entry"], args, nargout=1)
+        best = min(best, time.perf_counter() - start)
+    stats = session.native.stats()
+    session.close()
+    return best, digest, stats
+
+
 def second_run_hit_rate(workloads: dict) -> float:
     """Kernel-cache behaviour of a warm 'second run': fresh sessions over
     the same sources against the already-populated process-wide cache."""
@@ -223,6 +285,10 @@ def main(argv: list[str] | None = None) -> int:
     workloads = {**derived_workloads(options.quick),
                  **table1_workloads(options.quick)}
 
+    toolchain = detect_toolchain()
+    native_store = (
+        tempfile.mkdtemp(prefix="majic-bench-native-") if toolchain else None
+    )
     per_workload: dict[str, dict] = {}
     for name, spec in workloads.items():
         interp_s, interp_digest = time_interp(spec, repeats)
@@ -241,9 +307,35 @@ def main(argv: list[str] | None = None) -> int:
             "fused_vs_interp": round(interp_s / fused_s, 4),
             "fusion_vs_unfused": round(unfused_s / fused_s, 4),
         }
+        native_note = "no toolchain"
+        if toolchain is not None:
+            native_s, native_digest, nstats = time_native(
+                spec, repeats, native_store)
+            assert native_digest == fused_digest, (
+                f"{name}: native diverged "
+                f"(native={native_digest!r}, fused={fused_digest!r})"
+            )
+            assert nstats["compiled"] == 0, (
+                f"{name}: warm native session recompiled "
+                f"({nstats['compiled']} kernels) — artifact cache broken"
+            )
+            per_workload[name].update({
+                "native_s": round(native_s, 6),
+                "native_vs_fused": round(fused_s / native_s, 4),
+                "native_runs": nstats["runs"],
+                "native_cached_loads": nstats["cached"],
+            })
+            native_note = (
+                f"native {native_s:.4f}s x{fused_s / native_s:.2f} "
+                f"({nstats['runs']} native runs)"
+                if nstats["runs"]
+                else "native idle (calls below size cutoff or ineligible)"
+            )
         print(f"{name:>12}: interp {interp_s:.4f}s  "
               f"unfused {unfused_s:.4f}s  fused {fused_s:.4f}s  "
-              f"fusion x{unfused_s / fused_s:.2f}")
+              f"fusion x{unfused_s / fused_s:.2f}  {native_note}")
+    if native_store is not None:
+        shutil.rmtree(native_store, ignore_errors=True)
 
     result = {
         "description": "Fused elementwise kernels vs unfused JIT vs "
@@ -262,7 +354,19 @@ def main(argv: list[str] | None = None) -> int:
         "second_run_kernel_hit_rate": round(
             second_run_hit_rate(workloads), 4),
         "kernel_cache": KERNEL_CACHE.stats(),
+        "native": {"toolchain": toolchain.ident if toolchain else "none"},
     }
+    if toolchain is not None:
+        served = {
+            name: w for name, w in per_workload.items()
+            if w.get("native_runs", 0) > 0
+        }
+        assert served, "toolchain present but no workload ran natively"
+        result["native"].update({
+            "workloads_served": sorted(served),
+            "geomean_native_vs_fused": round(
+                geomean([w["native_vs_fused"] for w in served.values()]), 4),
+        })
     with open(options.out, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")

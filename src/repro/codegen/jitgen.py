@@ -111,6 +111,11 @@ class CompiledObject:
     #: fresh process can re-register them (``rt.kernel_<hash>`` dispatch
     #: must never miss for disk-revived objects).
     kernel_sources: dict = field(default_factory=dict)
+    #: Canonical tree encoding of each referenced kernel (same keys as
+    #: ``kernel_sources``) — the native tier decodes these to rebuild
+    #: trees for disk-revived kernels, so warm sessions can still promote
+    #: them to C.  Older pickles lack the field; revival tolerates that.
+    kernel_keys: dict = field(default_factory=dict)
 
     @property
     def source(self) -> str:
@@ -260,6 +265,7 @@ class JitCompiler:
             mode=mode,
             phase_times=times,
             kernel_sources=dict(lowerer.kernel_sources),
+            kernel_keys=dict(lowerer.kernel_keys),
         )
 
 
@@ -286,6 +292,7 @@ class _Lowerer:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.obs = obs
         self.kernel_sources: dict[str, str] = {}
+        self.kernel_keys: dict[str, str] = {}
         self.selector = Selector(
             fn, annotations,
             unroll_enabled=options.unroll_enabled,
@@ -930,6 +937,7 @@ class _Lowerer:
                 fault_plan=self.fault_plan, obs=self.obs,
             )
         self.kernel_sources[kernel.name] = kernel.source
+        self.kernel_keys[kernel.name] = kernel.key
         result = self.callrt(kernel.name, leaf_regs, BOXED)
         return self._coerce_to_annotation(result, BOXED, expr)
 

@@ -516,11 +516,15 @@ class RuntimeSupport:
         sink: display.OutputSink | None = None,
         fault_plan=None,
         obs=None,
+        native=None,
     ):
         self.sink = sink if sink is not None else display.OutputSink()
         self._call_user = call_user
         self.fault_plan = fault_plan
         self.obs = obs
+        # The native tier (repro.native): when armed, every fused-kernel
+        # dispatch is offered to it first; None keeps the Python kernels.
+        self.native = native
         if fault_plan is not None:
             self._arm_faults(fault_plan)
 
@@ -558,6 +562,20 @@ class RuntimeSupport:
                 return result
 
             fn = timed
+        native = self.native
+        if native is not None and native.enabled:
+            # Native-first dispatch (outside the Python-kernel timer, so
+            # majic_kernel_run_seconds stays pure): the engine serves the
+            # call from its compiled ``.so`` or returns None, in which
+            # case the Python kernel runs — the guarded fallback that
+            # keeps this tier bit-identical under every failure mode.
+            def native_first(*args, _native=native, _kernel=kernel, _fn=fn):
+                result = _native.dispatch(_kernel, args)
+                if result is not None:
+                    return result
+                return _fn(*args)
+
+            fn = native_first
         plan = self.fault_plan
         if plan is not None and any(
             spec.site == SITE_KERNEL_RUN for spec in plan.specs

@@ -76,6 +76,10 @@ class MajicSession:
         trace: bool = False,
         metrics: bool = False,
         fusion: bool = True,
+        native: bool = False,
+        native_sync: bool = False,
+        native_hot_threshold: int = 2,
+        native_min_elems: int | None = None,
         resilience=None,
         sandbox: bool | None = None,
         run_deadline: float | None = None,
@@ -152,6 +156,33 @@ class MajicSession:
             from dataclasses import replace as _replace
 
             resolved_jit = _replace(resolved_jit, fusion=False)
+        # The native (C) tier: native=True probes for a toolchain and, if
+        # one exists, compiles hot fused kernels to autotuned ``.so``s
+        # out-of-band (native_sync=True compiles inline — deterministic
+        # tests and the faults harness).  Artifacts live next to the
+        # repository cache when one is configured, else under
+        # ~/.pymajic/native, so warm sessions recompile nothing.  With no
+        # toolchain the engine constructs disabled and every dispatch
+        # stays on the Python kernels.
+        self.native = None
+        if native and fusion:
+            from repro.native import NativeArtifactStore, NativeEngine
+            from repro.native.artifacts import DEFAULT_NATIVE_DIR
+
+            if cache is not None:
+                native_dir = cache.directory / "native"
+            else:
+                native_dir = DEFAULT_NATIVE_DIR
+            self.native = NativeEngine(
+                store=NativeArtifactStore(native_dir),
+                fault_plan=fault_plan,
+                obs=self.obs,
+                policy=policy,
+                submit=self._submit_native_task,
+                sync=native_sync,
+                hot_threshold=native_hot_threshold,
+                min_elems=native_min_elems,
+            )
         self.repository = CodeRepository(
             jit_options=resolved_jit,
             src_options=src_options or platform.src_options(ablation=self.ablation),
@@ -164,6 +195,7 @@ class MajicSession:
             obs=self.obs,
             resilience=policy,
             diagnostics_capacity=diagnostics_capacity,
+            native=self.native,
         )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
         # The flight recorder breadcrumbs every diagnostic and writes a
@@ -280,6 +312,21 @@ class MajicSession:
         with tracer.span("speculate_async", "speculation"):
             return self.engine.submit_all()
 
+    def _submit_native_task(self, fn, label: str) -> bool:
+        """Native compiles ride the supervised speculation worker pool
+        (started lazily), so the foreground never blocks on a C compile."""
+        if self._closed:
+            return False
+        if self.engine is None:
+            self.engine = SpeculationEngine(
+                self.repository,
+                workers=self._workers,
+                fault_plan=self._fault_plan,
+                obs=self.obs,
+                policy=self.resilience,
+            )
+        return self.engine.submit_task(fn, label)
+
     def pending_speculation(self) -> int:
         """Background compiles still queued or in flight."""
         return 0 if self.engine is None else self.engine.pending()
@@ -309,6 +356,11 @@ class MajicSession:
         if self.engine is not None:
             self.engine.shutdown()
             self.engine = None
+        if self.native is not None:
+            # No threads of its own to stop; disabling the engine routes
+            # every later dispatch back to the Python kernels (a closed
+            # session runs unsupervised, so no native code either).
+            self.native.enabled = False
         repo = self.repository
         guard = getattr(repo, "guard", None)
         if guard is not None:

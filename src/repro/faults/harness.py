@@ -27,6 +27,7 @@ Usage::
     PYTHONPATH=src python -m repro.faults.harness --smoke       # CI subset
     PYTHONPATH=src python -m repro.faults.harness --background  # worker sweep
     PYTHONPATH=src python -m repro.faults.harness --chaos       # chaos sweep
+    PYTHONPATH=src python -m repro.faults.harness --native      # native sweep
 """
 
 from __future__ import annotations
@@ -49,6 +50,9 @@ from repro.faults.plan import (
     SITE_CRASH,
     SITE_HANG,
     SITE_JIT,
+    SITE_NATIVE_COMPILE,
+    SITE_NATIVE_LOAD,
+    SITE_NATIVE_RUN,
     SITE_OOM,
     SITE_PARALLEL_SEND,
     SITE_PARALLEL_WORKER,
@@ -190,6 +194,78 @@ def background_plans() -> dict[str, FaultPlan]:
         "spec-in-worker": FaultPlan.compile_fault(site="spec", hit=1),
         "runtime-hit1": FaultPlan.runtime_fault(helper="*", hit=1),
     }
+
+
+def native_plans() -> dict[str, FaultPlan]:
+    """The native-tier sweep: faults against the C compile, the ``.so``
+    load and the first native run.  Every one must deoptimize back onto
+    the Python fused kernels without changing a single bit."""
+    return {
+        "native-compile": FaultPlan.native_fault(site=SITE_NATIVE_COMPILE, hit=1),
+        "native-load": FaultPlan.native_fault(site=SITE_NATIVE_LOAD, hit=1),
+        "native-run": FaultPlan.native_fault(site=SITE_NATIVE_RUN, hit=1),
+    }
+
+
+def run_native(
+    names: list[str] | None = None,
+    scales: dict[str, tuple] | None = None,
+) -> list[DifferentialOutcome]:
+    """The native sweep: every benchmark under each native fault plan,
+    plus one fault-free run with the toolchain disabled entirely
+    (``MAJIC_NATIVE_DISABLE``).  Sessions run with ``native_sync`` so the
+    compile happens on the hot path and the injected fault is guaranteed
+    to fire before the checksum is taken."""
+    import os
+
+    names = names or benchmark_names()
+    scales = scales or SMALL_SCALES
+    kwargs = {
+        "native": True, "native_sync": True, "native_hot_threshold": 1,
+        # The sweep's small scales would mostly duck under the size
+        # cutoff; forcing it to 1 keeps real native runs in the loop.
+        "native_min_elems": 1,
+    }
+    outcomes: list[DifferentialOutcome] = []
+    for name in names:
+        baseline = interpreter_baseline(name, scales.get(name))
+        for label, plan in native_plans().items():
+            plan.reset()
+            faulted, session = run_with_faults(
+                name, plan, scales.get(name), **kwargs,
+            )
+            outcomes.append(
+                DifferentialOutcome(
+                    benchmark=name,
+                    plan=label,
+                    matches=(faulted == baseline),
+                    baseline=baseline,
+                    faulted=faulted,
+                    faults_fired=len(plan.fired),
+                    events=session.diagnostics.counts(),
+                )
+            )
+        # No-toolchain lane: the probe must come back empty and the
+        # session must serve every call from the Python kernels.
+        os.environ["MAJIC_NATIVE_DISABLE"] = "1"
+        try:
+            faulted, session = run_with_faults(
+                name, None, scales.get(name), **kwargs,
+            )
+        finally:
+            del os.environ["MAJIC_NATIVE_DISABLE"]
+        outcomes.append(
+            DifferentialOutcome(
+                benchmark=name,
+                plan="no-toolchain",
+                matches=(faulted == baseline),
+                baseline=baseline,
+                faulted=faulted,
+                faults_fired=0,
+                events=session.diagnostics.counts(),
+            )
+        )
+    return outcomes
 
 
 @dataclass(frozen=True)
@@ -430,6 +506,11 @@ def main(argv: list[str] | None = None) -> int:
              "crashed/OOM-killed worker ranks with parallel=2)",
     )
     parser.add_argument(
+        "--native", action="store_true",
+        help="run the native-tier sweep (faults against the C compile, "
+             ".so load and native run, plus a no-toolchain lane)",
+    )
+    parser.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="write the sweep outcomes as JSON (CI artifact)",
     )
@@ -456,8 +537,15 @@ def main(argv: list[str] | None = None) -> int:
     options = parser.parse_args(argv)
     names = options.benchmarks
     if names is None and options.smoke:
-        names = ["fibonacci", "dirich", "cgopt", "fractal"]
-    if options.parallel:
+        # The native smoke list leads with benchmarks whose fused kernels
+        # actually reach the native tier, so the injected faults fire.
+        if options.native:
+            names = ["orbec", "sor", "fibonacci", "fractal"]
+        else:
+            names = ["fibonacci", "dirich", "cgopt", "fractal"]
+    if options.native:
+        outcomes = run_native(names=names)
+    elif options.parallel:
         outcomes = run_parallel_chaos(names=names, trace=options.trace)
     elif options.chaos:
         outcomes = run_chaos(names=names, trace=options.trace)
@@ -475,9 +563,11 @@ def main(argv: list[str] | None = None) -> int:
         import json
 
         payload = {
-            "sweep": "parallel" if options.parallel else (
-                "chaos" if options.chaos else (
-                    "background" if options.background else "default"
+            "sweep": "native" if options.native else (
+                "parallel" if options.parallel else (
+                    "chaos" if options.chaos else (
+                        "background" if options.background else "default"
+                    )
                 )
             ),
             "bit_identical": len(outcomes) - failures,

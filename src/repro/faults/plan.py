@@ -45,6 +45,14 @@ SITE_OOM = "oom"
 #: torn (partial) write that bypasses the atomic-rename protocol.
 SITE_CACHE_CORRUPT = "cache.corrupt"
 SITE_CACHE_PARTIAL = "cache.partial_write"
+#: Native-tier sites (:mod:`repro.native`): the out-of-band C compile of a
+#: fused kernel, the dlopen/ctypes load of a cached ``.so``, and the
+#: in-process dispatch through the loaded function.  All three are behind
+#: the guarded fallback chain: a fault at any of them leaves the Python
+#: fused kernel serving the call bit-identically.
+SITE_NATIVE_COMPILE = "native.compile"
+SITE_NATIVE_LOAD = "native.load"
+SITE_NATIVE_RUN = "native.run"
 #: Parallel-backend sites (:mod:`repro.parallel`): a message handed to the
 #: transport that is silently dropped, a receive that fails on the
 #: driver side, and a task picked up by a parallel worker process (where
@@ -171,6 +179,13 @@ class FaultPlan:
         cls, site: str = SITE_KERNEL_RUN, hit: int = 1, seed: int = 0,
     ) -> "FaultPlan":
         """Fail the Nth fused-kernel compile or dispatch."""
+        return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
+
+    @classmethod
+    def native_fault(
+        cls, site: str = SITE_NATIVE_RUN, hit: int = 1, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth native-tier compile, ``.so`` load or dispatch."""
         return cls([FaultSpec(site=site, hits=(hit,))], seed=seed)
 
     @classmethod

@@ -55,6 +55,7 @@ class Interpreter:
         sink: display.OutputSink | None = None,
         call_dispatcher: CallDispatcher | None = None,
         fusion: bool = True,
+        native=None,
     ):
         self.function_lookup = function_lookup or (lambda name: None)
         self.sink = sink if sink is not None else display.OutputSink()
@@ -66,6 +67,8 @@ class Interpreter:
         # so id() keys stay valid for the interpreter's lifetime.
         self.fusion_enabled = fusion
         self._fusion_plans: dict[int, tuple] = {}
+        # Native tier (repro.native): offered each fused dispatch first.
+        self.native = native
 
     # ------------------------------------------------------------------
     # Entry points
@@ -345,6 +348,10 @@ class Interpreter:
                 plan.root, ("b",) * len(values)
             )
             plan.kernel = kernel
+        if self.native is not None:
+            result = self.native.dispatch(kernel, values)
+            if result is not None:
+                return result
         return kernel.fn(*values)
 
     def _eval_ident(self, expr: ast.Ident, env: Environment) -> MxArray:

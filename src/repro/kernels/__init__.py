@@ -32,6 +32,7 @@ from repro.kernels.fusion import (
     Leaf,
     Node,
     TypedPlan,
+    decode,
     match_dynamic,
     match_typed,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "Leaf",
     "Node",
     "TypedPlan",
+    "decode",
     "match_dynamic",
     "match_typed",
     "generate_source",

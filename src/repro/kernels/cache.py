@@ -24,6 +24,7 @@ absorbs it.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from dataclasses import dataclass
 
@@ -34,6 +35,23 @@ from repro.kernels.fusion import Node, encode
 #: Bumped whenever generated kernel code changes shape — keys (and thus
 #: the names embedded in persisted compiled objects) change with it.
 KERNEL_FORMAT_VERSION = 1
+
+#: Default bound on live kernels per cache.  Long fuzz runs mint an
+#: unbounded stream of distinct trees; past this the least recently used
+#: kernel is dropped (consumers memoize their own bindings, so an evicted
+#: kernel keeps serving existing plans and simply recompiles on the next
+#: cold lookup).  Overridable per process via
+#: ``MAJIC_KERNEL_CACHE_CAPACITY``.
+DEFAULT_KERNEL_CACHE_CAPACITY = 256
+
+
+def _default_capacity() -> int:
+    raw = os.environ.get("MAJIC_KERNEL_CACHE_CAPACITY", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_KERNEL_CACHE_CAPACITY
+    return value if value > 0 else DEFAULT_KERNEL_CACHE_CAPACITY
 
 
 @dataclass
@@ -54,13 +72,46 @@ def kernel_name(key: str) -> str:
 
 
 class KernelCache:
-    """Thread-safe name → :class:`CompiledKernel` map with hit counters."""
+    """Thread-safe name → :class:`CompiledKernel` map with hit counters.
 
-    def __init__(self):
+    Bounded: at most ``capacity`` kernels stay live, in LRU order (a hit
+    or lookup refreshes recency).  Eviction only drops the cache's own
+    reference — live ``DynamicPlan.kernel`` memos and ``RuntimeSupport``
+    instance bindings keep working, and the next cold lookup of the same
+    tree simply recompiles (``evictions`` counts how often that tax was
+    paid; sessions mirror it into ``majic_kernel_cache_evictions_total``).
+    """
+
+    def __init__(self, capacity: int | None = None):
         self._lock = threading.Lock()
         self._kernels: dict[str, CompiledKernel] = {}
+        self.capacity = capacity if capacity else _default_capacity()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _touch(self, name: str, kernel: CompiledKernel) -> None:
+        """Refresh LRU recency (dict preserves insertion order)."""
+        del self._kernels[name]
+        self._kernels[name] = kernel
+
+    def _insert(self, name: str, kernel: CompiledKernel) -> tuple:
+        """Insert under the lock; returns (winner, evicted_count)."""
+        existing = self._kernels.get(name)
+        if existing is not None:
+            # A racing compile of the same tree is harmless: both
+            # functions are identical, first one in wins.
+            self._touch(name, existing)
+            return existing, 0
+        self._kernels[name] = kernel
+        evicted = 0
+        while len(self._kernels) > self.capacity:
+            oldest = next(iter(self._kernels))
+            del self._kernels[oldest]
+            evicted += 1
+        self.evictions += evicted
+        return kernel, evicted
 
     # ------------------------------------------------------------------
     def get_or_compile(
@@ -77,6 +128,7 @@ class KernelCache:
             kernel = self._kernels.get(name)
             if kernel is not None:
                 self.hits += 1
+                self._touch(name, kernel)
                 hit = True
             else:
                 self.misses += 1
@@ -92,34 +144,47 @@ class KernelCache:
             name=name, key=key, source=source, fn=compile_kernel(name, source)
         )
         with self._lock:
-            # A racing compile of the same tree is harmless: both
-            # functions are identical, first one in wins.
-            kernel = self._kernels.setdefault(name, kernel)
+            kernel, evicted = self._insert(name, kernel)
+        if obs is not None and evicted:
+            obs.record_kernel_cache_eviction(evicted)
         return kernel
 
     # ------------------------------------------------------------------
     def lookup(self, name: str) -> CompiledKernel | None:
         with self._lock:
-            return self._kernels.get(name)
+            kernel = self._kernels.get(name)
+            if kernel is not None:
+                self._touch(name, kernel)
+            return kernel
 
-    def register_source(self, name: str, source: str) -> None:
-        """Revive a kernel from persisted source (disk-cache load path)."""
+    def register_source(self, name: str, source: str, key: str = "") -> None:
+        """Revive a kernel from persisted source (disk-cache load path).
+
+        ``key`` carries the canonical tree encoding when the persisting
+        session recorded it (``CompiledObject.kernel_keys``); the native
+        tier needs it to rebuild the tree, but revival works without it.
+        """
         with self._lock:
-            if name in self._kernels:
+            existing = self._kernels.get(name)
+            if existing is not None:
+                if key and not existing.key:
+                    existing.key = key
                 return
         kernel = CompiledKernel(
-            name=name, key="", source=source, fn=compile_kernel(name, source)
+            name=name, key=key, source=source, fn=compile_kernel(name, source)
         )
         with self._lock:
-            self._kernels.setdefault(name, kernel)
+            self._insert(name, kernel)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         with self._lock:
             return {
                 "kernels": len(self._kernels),
+                "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }
 
     def hit_rate(self) -> float:
@@ -133,6 +198,7 @@ class KernelCache:
             self._kernels.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 #: The process-wide cache both consumers share.

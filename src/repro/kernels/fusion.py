@@ -90,6 +90,66 @@ def encode(node, descs) -> str:
     return f"({node.op} {parts})"
 
 
+def decode(key: str) -> tuple:
+    """Inverse of :func:`encode`: rebuild ``(root, descs)`` from a key.
+
+    The native tier revives kernels across sessions from their canonical
+    key alone (the disk cache persists keys, not trees), so the encoding
+    must round-trip.  Raises :class:`ValueError` on malformed input.
+    """
+    pos = 0
+    descs: dict[int, str] = {}
+
+    def parse():
+        nonlocal pos
+        if pos >= len(key):
+            raise ValueError("truncated kernel key")
+        if key[pos] == "(":
+            pos += 1
+            end = key.find(" ", pos)
+            if end < 0:
+                raise ValueError("malformed kernel key (operator)")
+            op = key[pos:end]
+            pos = end
+            children = []
+            while pos < len(key) and key[pos] == " ":
+                pos += 1
+                children.append(parse())
+            if pos >= len(key) or key[pos] != ")" or not children:
+                raise ValueError("malformed kernel key (node)")
+            pos += 1
+            return Node(op, tuple(children))
+        if key[pos] != "%":
+            raise ValueError("malformed kernel key (leaf)")
+        pos += 1
+        start = pos
+        while pos < len(key) and key[pos].isdigit():
+            pos += 1
+        if pos == start or pos >= len(key):
+            raise ValueError("malformed kernel key (leaf index)")
+        index = int(key[start:pos])
+        desc = key[pos]
+        if desc not in (DESC_BOXED, DESC_SCALAR):
+            raise ValueError(f"unknown leaf descriptor {desc!r}")
+        pos += 1
+        existing = descs.get(index)
+        if existing is not None and existing != desc:
+            raise ValueError("conflicting leaf descriptors")
+        descs[index] = desc
+        return Leaf(index)
+
+    root = parse()
+    if pos != len(key):
+        raise ValueError("trailing garbage in kernel key")
+    if not isinstance(root, Node):
+        raise ValueError("kernel key must encode at least one operator")
+    try:
+        desc_tuple = tuple(descs[i] for i in range(len(descs)))
+    except KeyError:
+        raise ValueError("non-contiguous leaf indices in kernel key") from None
+    return root, desc_tuple
+
+
 class _NoFusion(Exception):
     """Internal abort signal: some subexpression disqualifies the tree."""
 

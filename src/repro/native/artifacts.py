@@ -1,0 +1,182 @@
+"""Content-addressed on-disk store for native kernel artifacts.
+
+One artifact is a ``<key>.so`` shared object plus a ``<key>.json`` meta
+record.  The key is a SHA-256 over everything that could change the
+machine code:
+
+* the native format version (this module's layout / lowering scheme);
+* the kernel's canonical tree encoding (which embeds the operand
+  descriptor vector — and, via the dispatch guard, fixes the dtype to
+  ``float64``);
+* the toolchain identity (compiler name + exact version banner);
+* the shared safety flag set.
+
+The autotuner's *winning* variant and flags are recorded in the meta —
+they are an output of the first compile, not an input to the key, which
+is what lets a warm session find the artifact before knowing the winner.
+
+Integrity: the meta stores the ``.so``'s SHA-256; a load whose bytes
+disagree (bit rot, torn write, a truncated copy) **quarantines** the key
+— both files are deleted, the key is remembered so repeated probes
+short-circuit, and the caller recompiles.  A later successful
+:meth:`store` of the same key lifts the quarantine, mirroring the
+self-healing :class:`~repro.repository.cache.RepositoryCache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.native.toolchain import SAFETY_FLAGS
+
+#: Bumped whenever the C lowering or the artifact layout changes shape.
+NATIVE_FORMAT_VERSION = 1
+
+#: Default artifact directory when the session has no repository cache.
+DEFAULT_NATIVE_DIR = "~/.pymajic/native"
+
+
+def artifact_key(kernel_key: str, toolchain_ident: str) -> str:
+    """The content address of one native kernel build."""
+    digest = hashlib.sha256()
+    for part in (
+        f"native-v{NATIVE_FORMAT_VERSION}",
+        kernel_key,
+        toolchain_ident,
+        " ".join(SAFETY_FLAGS),
+    ):
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class NativeArtifactStore:
+    """One directory of ``.so`` + meta pairs, with quarantine healing."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(os.path.expanduser(os.fspath(directory)))
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._quarantined: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corruption_detected = 0
+
+    # ------------------------------------------------------------------
+    def _so_path(self, key: str) -> Path:
+        return self.directory / f"{key}.so"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    @property
+    def quarantined_keys(self) -> set[str]:
+        with self._lock:
+            return set(self._quarantined)
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> tuple[Path, dict] | None:
+        """Return ``(so_path, meta)`` for a verified artifact, or ``None``.
+
+        Any inconsistency — missing file, unparseable meta, digest
+        mismatch — quarantines the key and reads as a miss.
+        """
+        with self._lock:
+            if key in self._quarantined:
+                self.misses += 1
+                return None
+        so_path = self._so_path(key)
+        meta_path = self._meta_path(key)
+        try:
+            meta = json.loads(meta_path.read_text())
+            so_bytes = so_path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._quarantine(key)
+            return None
+        digest = hashlib.sha256(so_bytes).hexdigest()
+        if not isinstance(meta, dict) or meta.get("so_sha256") != digest:
+            self._quarantine(key)
+            return None
+        with self._lock:
+            self.hits += 1
+        return so_path, meta
+
+    def store(self, key: str, so_bytes: bytes, meta: dict) -> Path | None:
+        """Persist one artifact atomically; returns the final ``.so``
+        path (``None`` on IO failure — persistence is best-effort)."""
+        meta = dict(meta)
+        meta["so_sha256"] = hashlib.sha256(so_bytes).hexdigest()
+        meta["format"] = NATIVE_FORMAT_VERSION
+        try:
+            so_path = self._write_atomic(self._so_path(key), so_bytes)
+            self._write_atomic(
+                self._meta_path(key),
+                json.dumps(meta, indent=1, sort_keys=True).encode("ascii"),
+            )
+        except OSError:
+            return None
+        with self._lock:
+            self.stores += 1
+            self._quarantined.discard(key)
+        return so_path
+
+    def _write_atomic(self, path: Path, payload: bytes) -> Path:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=path.suffix
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+            return path
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _quarantine(self, key: str) -> None:
+        with self._lock:
+            self.misses += 1
+            self.corruption_detected += 1
+            self._quarantined.add(key)
+        for path in (self._so_path(key), self._meta_path(key)):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def evict(self, key: str) -> bool:
+        """Remove one artifact (a crashing ``.so`` must not resurrect)."""
+        removed = False
+        for path in (self._so_path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.so"))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "artifacts": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corruption_detected": self.corruption_detected,
+            }

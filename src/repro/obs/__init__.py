@@ -170,6 +170,29 @@ class Observability:
             "Per-call latency of fused elementwise kernels.",
             labelnames=("kernel",),
         )
+        self._kernel_evictions = registry.counter(
+            "majic_kernel_cache_evictions_total",
+            "Fused kernels dropped by the kernel cache's LRU bound.",
+        )
+        # Native-tier instruments (repro.native): compile outcomes,
+        # per-kernel native run latency and fallback-to-Python reasons.
+        self._native_compiles = registry.counter(
+            "majic_native_compiles_total",
+            "Native kernel compiles by result (compiled, cached, failed, "
+            "ineligible).",
+            labelnames=("result",),
+        )
+        self._native_run_seconds = registry.histogram(
+            "majic_native_run_seconds",
+            "Per-call latency of native (C) fused kernels.",
+            labelnames=("kernel",),
+        )
+        self._native_fallbacks = registry.counter(
+            "majic_native_fallback_total",
+            "Native dispatches that fell back to the Python kernel, by "
+            "reason (guard, domain, run_fault, fault).",
+            labelnames=("reason",),
+        )
         # Resilience counters: dedicated first-class metrics (the labelled
         # majic_events_total stream still carries every kind; these exist
         # so dashboards can alert without label arithmetic).
@@ -256,6 +279,26 @@ class Observability:
         if not self.metrics.enabled:
             return
         self._kernel_run_seconds.observe(seconds, kernel=kernel)
+
+    def record_kernel_cache_eviction(self, count: int = 1) -> None:
+        if not self.metrics.enabled:
+            return
+        self._kernel_evictions.inc(count)
+
+    def record_native_compile(self, result: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._native_compiles.inc(result=result)
+
+    def record_native_run(self, kernel: str, seconds: float) -> None:
+        if not self.metrics.enabled:
+            return
+        self._native_run_seconds.observe(seconds, kernel=kernel)
+
+    def record_native_fallback(self, reason: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._native_fallbacks.inc(reason=reason)
 
     def set_queue_depth(self, depth: int) -> None:
         if not self.metrics.enabled:

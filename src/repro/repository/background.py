@@ -71,6 +71,22 @@ _STOP = object()
 DEFAULT_WORKERS = 2
 
 
+class _Task:
+    """An arbitrary callable riding the worker queue in a generation slot.
+
+    The native tier submits its out-of-band C compiles this way
+    (:meth:`SpeculationEngine.submit_task`): the task reuses the pool's
+    supervision — heartbeats, dead-worker restarts, poison quarantine —
+    without the generation/redefinition machinery, which only makes sense
+    for function compiles.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+
 class SpeculationEngine:
     """A daemon worker pool running speculative compiles off-thread."""
 
@@ -155,6 +171,25 @@ class SpeculationEngine:
         # off it in the trace tree despite running on another thread.
         parent = self.obs.tracer.current_id()
         self._queue.put((name, generation, parent))
+        self.obs.set_queue_depth(self.pending())
+        return True
+
+    def submit_task(self, fn, label: str) -> bool:
+        """Queue one arbitrary callable on the supervised worker pool.
+
+        Returns False when the engine is shut down or degraded (callers
+        then run the work inline or drop it).  ``label`` names the task
+        in diagnostics, dedup and poison quarantine.
+        """
+        task = _Task(fn)
+        with self._lock:
+            if self._shutdown or self.degraded:
+                return False
+            if label in self._queued:
+                return False
+            self._queued[label] = task
+        parent = self.obs.tracer.current_id()
+        self._queue.put((label, task, parent))
         self.obs.set_queue_depth(self.pending())
         return True
 
@@ -371,14 +406,36 @@ class SpeculationEngine:
                 if not self._queued and not self._in_flight:
                     self._quiet.notify_all()
 
-    def _run_one(self, repo, name: str, generation: int, parent=None) -> None:
+    def _run_one(self, repo, name: str, generation, parent=None) -> None:
         tracer = self.obs.tracer
+        if isinstance(generation, _Task):
+            if not tracer.enabled:
+                return self._run_task(repo, name, generation)
+            with tracer.adopt(parent):
+                with tracer.span(name, "background", task=name):
+                    return self._run_task(repo, name, generation)
         if not tracer.enabled:
             return self._run_one_raw(repo, name, generation)
         with tracer.adopt(parent):
             with tracer.span(name, "background", function=name,
                              generation=generation):
                 return self._run_one_raw(repo, name, generation)
+
+    def _run_task(self, repo, label: str, task: _Task) -> None:
+        """One submitted callable; failures are absorbed and recorded."""
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check("worker", label)
+            task.fn()
+        except Exception as exc:  # noqa: BLE001 - workers must not die loudly
+            self.failed.append(label)
+            repo.diagnostics.record(
+                COMPILE_FAILURE, label,
+                detail="background task failed",
+                cause=exc,
+            )
+            return
+        self.compiled.append(label)
 
     def _run_one_raw(self, repo, name: str, generation: int) -> None:
         try:

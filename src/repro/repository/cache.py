@@ -176,8 +176,13 @@ def deserialize_object(payload: bytes) -> CompiledObject:
     if kernel_sources:
         from repro.kernels.cache import KERNEL_CACHE
 
+        # kernel_keys arrived with the native tier; older pickles lack it
+        # (revived kernels then simply stay on the Python tier).
+        kernel_keys = getattr(obj, "kernel_keys", None) or {}
         for kernel, source in kernel_sources.items():
-            KERNEL_CACHE.register_source(kernel, source)
+            KERNEL_CACHE.register_source(
+                kernel, source, key=kernel_keys.get(kernel, "")
+            )
     return obj
 
 

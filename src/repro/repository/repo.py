@@ -158,6 +158,7 @@ class CodeRepository:
         obs=None,
         resilience: ResiliencePolicy | None = None,
         diagnostics_capacity: int | None = None,
+        native=None,
     ):
         self.jit_options = jit_options or JitOptions()
         self.src_options = src_options or SrcOptions()
@@ -244,15 +245,19 @@ class CodeRepository:
         # compile captures the generation at enqueue time and its result is
         # dropped if the function was redefined (or removed) meanwhile.
         self._generations: dict[str, int] = {}
+        # The native tier (repro.native): shared by both consumers so a
+        # kernel promoted on the interpreter path serves JIT code too.
+        self.native = native
         self._interpreter = Interpreter(
             function_lookup=self.lookup_function,
             sink=self.sink,
             call_dispatcher=self._interp_dispatch,
             fusion=self.jit_options.fusion,
+            native=native,
         )
         self._rt = RuntimeSupport(
             call_user=self._call_user, sink=self.sink, fault_plan=fault_plan,
-            obs=self.obs,
+            obs=self.obs, native=native,
         )
 
     # ------------------------------------------------------------------

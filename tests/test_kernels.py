@@ -75,8 +75,69 @@ def test_cache_hit_miss_accounting():
     again = KERNEL_CACHE.get_or_compile(tree, (DESC_BOXED, DESC_BOXED))
     assert first is again
     stats = KERNEL_CACHE.stats()
-    assert stats == {"kernels": 1, "hits": 1, "misses": 1}
+    assert stats == {
+        "kernels": 1, "capacity": KERNEL_CACHE.capacity,
+        "hits": 1, "misses": 1, "evictions": 0,
+    }
     assert KERNEL_CACHE.hit_rate() == 0.5
+
+
+def _distinct_tree(depth: int) -> Node:
+    """A chain of ``depth`` additions — each depth is a distinct key."""
+    tree = Node("+", (Leaf(0), Leaf(1)))
+    for _ in range(depth):
+        tree = Node("+", (tree, Leaf(1)))
+    return tree
+
+
+def test_cache_lru_eviction_with_counter():
+    from repro.kernels.cache import KernelCache
+
+    cache = KernelCache(capacity=2)
+    descs = (DESC_BOXED, DESC_BOXED)
+    k0 = cache.get_or_compile(_distinct_tree(0), descs)
+    k1 = cache.get_or_compile(_distinct_tree(1), descs)
+    # Refresh k0's recency, then overflow: k1 (now oldest) must go.
+    assert cache.lookup(k0.name) is k0
+    k2 = cache.get_or_compile(_distinct_tree(2), descs)
+    stats = cache.stats()
+    assert stats["kernels"] == 2 and stats["evictions"] == 1, stats
+    assert cache.lookup(k1.name) is None
+    assert cache.lookup(k0.name) is k0 and cache.lookup(k2.name) is k2
+    # An evicted tree recompiles on the next cold lookup (a miss).
+    revived = cache.get_or_compile(_distinct_tree(1), descs)
+    assert revived.name == k1.name and revived is not k1
+    assert cache.stats()["evictions"] == 2  # k0 went this time
+
+
+def test_cache_capacity_env_knob(monkeypatch):
+    from repro.kernels.cache import (
+        DEFAULT_KERNEL_CACHE_CAPACITY,
+        KernelCache,
+    )
+
+    monkeypatch.setenv("MAJIC_KERNEL_CACHE_CAPACITY", "7")
+    assert KernelCache().capacity == 7
+    monkeypatch.setenv("MAJIC_KERNEL_CACHE_CAPACITY", "not-a-number")
+    assert KernelCache().capacity == DEFAULT_KERNEL_CACHE_CAPACITY
+    monkeypatch.setenv("MAJIC_KERNEL_CACHE_CAPACITY", "-3")
+    assert KernelCache().capacity == DEFAULT_KERNEL_CACHE_CAPACITY
+    monkeypatch.delenv("MAJIC_KERNEL_CACHE_CAPACITY")
+    assert KernelCache(capacity=11).capacity == 11
+
+
+def test_cache_eviction_metric(fresh_session, monkeypatch):
+    """Session evictions surface as majic_kernel_cache_evictions_total."""
+    from repro.kernels.cache import KernelCache
+
+    cache = KernelCache(capacity=1)
+    session = fresh_session(metrics=True)
+    descs = (DESC_BOXED, DESC_BOXED)
+    cache.get_or_compile(_distinct_tree(0), descs, obs=session.obs)
+    cache.get_or_compile(_distinct_tree(1), descs, obs=session.obs)
+    text = session.metrics_text()
+    session.close()
+    assert "majic_kernel_cache_evictions_total 1" in text
 
 
 def test_generated_source_shape():
