@@ -1,0 +1,133 @@
+"""Record the adaptive-tiering baseline (BENCH_adaptive.json).
+
+Drives the mixed workload stream of :mod:`repro.experiments.adaptive`
+through four engines — interpreter, static JIT, static speculative
+(``speculate_all`` prep timed separately) and ``adaptive=True`` — and
+records per-engine throughput plus the adaptive controller's
+time-to-peak-tier.  Two adaptive numbers matter:
+
+* **cold** — a fresh session with empty profiles; the stream includes
+  the warmup ramp while the controller discovers hot functions and
+  promotes them out-of-band.
+* **warm** — a second session over the same persistent cache; saved
+  hotness profiles restore each function's winning tier up front, every
+  compiled object loads from disk (zero promotion recompiles), and the
+  stream runs at steady state from the first call.
+
+The acceptance gate (enforced by the CI ``adaptive-smoke`` job) is that
+the *warm* adaptive throughput reaches >= 0.9x the best static tier —
+speed without ever calling ``speculate_all``/``jit_compile`` — and that
+``warm.promotion_recompiles`` is 0.  Every engine's checksums are
+asserted bit-identical to the interpreter inside ``generate`` before any
+timing is reported.
+
+Usage::
+
+    PYTHONPATH=src python scripts_bench_adaptive.py [--quick]
+                                                    [--rounds N]
+                                                    [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import tempfile
+
+from repro import TieringPolicy
+from repro.experiments.adaptive import generate
+
+
+def engine_record(run) -> dict:
+    record = {
+        "prep_s": round(run.prep_s, 6),
+        "stream_s": round(run.stream_s, 6),
+        "calls": run.calls,
+        "calls_per_s": round(run.throughput, 2),
+    }
+    if run.time_to_peak_s is not None:
+        record["time_to_peak_s"] = round(run.time_to_peak_s, 6)
+    if run.final_tiers:
+        record["final_tiers"] = run.final_tiers
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short stream / eager thresholds (CI smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="rounds over the 4-benchmark stream")
+    parser.add_argument("--out", default="BENCH_adaptive.json")
+    options = parser.parse_args(argv)
+    rounds = options.rounds or (12 if options.quick else 40)
+    # In quick mode the stream is short, so promote eagerly enough that
+    # the controller still reaches its peak tier inside the stream; the
+    # native kernel tier stays idle (its background C compiles would be
+    # pure scheduling noise against a sub-second gate measurement).
+    policy = (
+        TieringPolicy(
+            jit_threshold=2.0, spec_threshold=5.0,
+            native_hot_threshold=10**9,
+        )
+        if options.quick else None
+    )
+
+    with tempfile.TemporaryDirectory(prefix="majic-bench-adaptive-") as tmp:
+        result = generate(
+            rounds=rounds, cache_dir=tmp, policy=policy, warm_rounds=rounds
+        )
+
+    engines = {
+        label: engine_record(run)
+        for label, run in result["engines"].items()
+    }
+    warm = dict(result["warm"])
+    warm["calls_per_s"] = round(warm["calls"] / warm["stream_s"], 2)
+    warm["stream_s"] = round(warm["stream_s"], 6)
+
+    best_static = max(
+        engines["jit"]["calls_per_s"], engines["spec"]["calls_per_s"]
+    )
+    cold_ratio = engines["adaptive"]["calls_per_s"] / best_static
+    warm_ratio = warm["calls_per_s"] / best_static
+
+    payload = {
+        "description": "Adaptive tiering vs static tiers over a mixed "
+                       "4-benchmark call stream; bit-identity asserted "
+                       "before timing",
+        "quick": options.quick,
+        "rounds": rounds,
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+        "names": list(result["names"]),
+        "engines": engines,
+        "warm_adaptive": warm,
+        "best_static_calls_per_s": best_static,
+        "adaptive_cold_vs_best_static": round(cold_ratio, 4),
+        "adaptive_warm_vs_best_static": round(warm_ratio, 4),
+        "promotions": result["adaptive_report"]["promotions"],
+        "demotions": result["adaptive_report"]["demotions"],
+    }
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    for label, record in engines.items():
+        peak = record.get("time_to_peak_s")
+        peak_note = f"  to-peak {peak:.2f}s" if peak is not None else ""
+        print(f"{label:>12}: prep {record['prep_s']:.3f}s  "
+              f"stream {record['stream_s']:.3f}s  "
+              f"{record['calls_per_s']:.1f} calls/s{peak_note}")
+    print(f"{'warm':>12}: stream {warm['stream_s']:.3f}s  "
+          f"{warm['calls_per_s']:.1f} calls/s  "
+          f"{warm['profile_restores']} profiles restored  "
+          f"{warm['promotion_recompiles']} promotion recompiles")
+    print(f"adaptive vs best static: cold {cold_ratio:.2f}x  "
+          f"warm {warm_ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ from repro.core.platformcfg import AblationFlags, MIPS, SPARC, platform_by_name
 from repro.faults import FaultPlan, InjectedFault
 from repro.repository.repo import CompileBudget
 from repro.resilience import ResiliencePolicy
+from repro.tiering import TieringPolicy
 
 __version__ = "1.0.0"
 
@@ -47,6 +48,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "ResiliencePolicy",
+    "TieringPolicy",
     "ensure_recursion_limit",
     "__version__",
 ]

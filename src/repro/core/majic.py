@@ -80,6 +80,9 @@ class MajicSession:
         native_sync: bool = False,
         native_hot_threshold: int = 2,
         native_min_elems: int | None = None,
+        adaptive: bool = False,
+        adaptive_sync: bool = False,
+        tiering=None,
         resilience=None,
         sandbox: bool | None = None,
         run_deadline: float | None = None,
@@ -156,6 +159,30 @@ class MajicSession:
             from dataclasses import replace as _replace
 
             resolved_jit = _replace(resolved_jit, fusion=False)
+        # Profile-guided adaptive tiering: adaptive=True builds the online
+        # tier controller (repro.tiering) that watches every served call
+        # and promotes hot functions interpreter -> jit -> spec in the
+        # background (adaptive_sync=True compiles at the decision point —
+        # deterministic tests, fuzzing and the faults harness).  ``tiering``
+        # accepts a TieringPolicy overriding the thresholds.  The native
+        # kernel tier rides the same controller: adaptive implies native
+        # (harmlessly disabled when no C toolchain exists).
+        self.tiering = None
+        if adaptive:
+            from repro.tiering import TierController, TieringPolicy
+
+            policy_t = tiering if tiering is not None else TieringPolicy()
+            self.tiering = TierController(
+                policy=policy_t,
+                obs=self.obs,
+                fault_plan=fault_plan,
+                sync=adaptive_sync,
+                submit=self._submit_background_task,
+            )
+            native = True
+            native_hot_threshold = policy_t.native_hot_threshold
+            if adaptive_sync:
+                native_sync = True
         # The native (C) tier: native=True probes for a toolchain and, if
         # one exists, compiles hot fused kernels to autotuned ``.so``s
         # out-of-band (native_sync=True compiles inline — deterministic
@@ -182,6 +209,10 @@ class MajicSession:
                 sync=native_sync,
                 hot_threshold=native_hot_threshold,
                 min_elems=native_min_elems,
+                hotness=(
+                    self.tiering.kernel_hotness
+                    if self.tiering is not None else None
+                ),
             )
         self.repository = CodeRepository(
             jit_options=resolved_jit,
@@ -197,6 +228,16 @@ class MajicSession:
             diagnostics_capacity=diagnostics_capacity,
             native=self.native,
         )
+        if self.tiering is not None:
+            self.tiering.bind(self.repository)
+            if self.native is None or not self.native.enabled:
+                # Nothing else is counting fused-kernel dispatches; let
+                # the interpreter feed the shared kernel counter so the
+                # summary still surfaces kernel hotness without a
+                # toolchain.
+                self.repository._interpreter.kernel_hotness = (
+                    self.tiering.kernel_hotness
+                )
         self.frontend = MajicFrontEnd(self.repository, sink=self.sink)
         # The flight recorder breadcrumbs every diagnostic and writes a
         # postmortem bundle on deopts, watchdog timeouts, sandbox deaths,
@@ -315,6 +356,11 @@ class MajicSession:
     def _submit_native_task(self, fn, label: str) -> bool:
         """Native compiles ride the supervised speculation worker pool
         (started lazily), so the foreground never blocks on a C compile."""
+        return self._submit_background_task(fn, label)
+
+    def _submit_background_task(self, fn, label: str, on_done=None) -> bool:
+        """Queue one out-of-band task (native compile, tier promotion) on
+        the supervised worker pool, starting it lazily."""
         if self._closed:
             return False
         if self.engine is None:
@@ -325,7 +371,7 @@ class MajicSession:
                 obs=self.obs,
                 policy=self.resilience,
             )
-        return self.engine.submit_task(fn, label)
+        return self.engine.submit_task(fn, label, on_done=on_done)
 
     def pending_speculation(self) -> int:
         """Background compiles still queued or in flight."""
@@ -356,6 +402,10 @@ class MajicSession:
         if self.engine is not None:
             self.engine.shutdown()
             self.engine = None
+        if self.tiering is not None:
+            # Persist learned hotness + winning-tier verdicts after the
+            # worker pool has drained, so in-flight promotions count.
+            self.tiering.save()
         if self.native is not None:
             # No threads of its own to stop; disabling the engine routes
             # every later dispatch back to the Python kernels (a closed
@@ -517,6 +567,24 @@ class MajicSession:
             + (f" ({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})"
                if counts else ""),
             f"speculation      {self.pending_speculation()} pending in background",
+        ]
+        if self.tiering is not None:
+            report = self.tiering.report()
+            counts_t = report["counts"]
+            per_tier = ", ".join(
+                f"{count} {tier}"
+                for tier, count in sorted(
+                    counts_t.items(), key=lambda item: item[0]
+                )
+            ) or "no functions observed"
+            lines.append(
+                f"tiering          adaptive: {per_tier}; "
+                f"{report['promotions']} promotions "
+                f"({report['profile_restores']} profiles restored), "
+                f"{report['demotions']} demotions, "
+                f"{report['kernels_tracked']} kernels tracked"
+            )
+        lines += [
             f"observability    trace={'on' if self.obs.tracer.enabled else 'off'}, "
             f"metrics={'on' if self.obs.metrics.enabled else 'off'}"
             + (f", {len(self.obs.tracer.spans())} spans recorded"

@@ -182,6 +182,9 @@ def default_plans() -> dict[str, FaultPlan]:
         "runtime-hit7": FaultPlan.runtime_fault(helper="*", hit=7),
         "kernel-compile": FaultPlan.kernel_fault(site=SITE_KERNEL_COMPILE, hit=1),
         "kernel-run": FaultPlan.kernel_fault(site=SITE_KERNEL_RUN, hit=1),
+        # Adaptive-tiering lane: the first background promotion compile
+        # dies; the function must keep serving from its current tier.
+        "tier-promote": FaultPlan.tiering_fault(hit=1),
     }
 
 
@@ -460,12 +463,28 @@ def run_differential(
         for label, plan in plans.items():
             plan.reset()
             speculate = label.startswith("spec")
+            extra = {}
+            if label.startswith("tier"):
+                # The promotion site only exists under the adaptive
+                # controller; hair-trigger thresholds + sync mode make
+                # the injected fault fire deterministically on the first
+                # promotion attempt.
+                from repro.tiering import TieringPolicy
+
+                extra = {
+                    "adaptive": True,
+                    "adaptive_sync": True,
+                    "tiering": TieringPolicy(
+                        jit_threshold=1.0, spec_threshold=2.0
+                    ),
+                }
             faulted, session = run_with_faults(
                 name,
                 plan,
                 scales.get(name),
                 speculate=speculate,
                 background=background,
+                **extra,
             )
             outcomes.append(
                 DifferentialOutcome(

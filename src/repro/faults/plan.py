@@ -60,6 +60,11 @@ SITE_NATIVE_RUN = "native.run"
 SITE_PARALLEL_SEND = "parallel.send"
 SITE_PARALLEL_RECV = "parallel.recv"
 SITE_PARALLEL_WORKER = "parallel.worker"
+#: Adaptive-tiering site (:mod:`repro.tiering`): the promotion decision /
+#: background promotion compile.  A fault here aborts that one promotion
+#: attempt — the function keeps serving from its current tier, so results
+#: stay bit-identical to the interpreter.
+SITE_TIERING_PROMOTE = "tiering.promote"
 #: Prefix for runtime-helper sites; ``rt.*`` wraps every helper.
 RT_PREFIX = "rt."
 RT_ANY = "rt.*"
@@ -199,6 +204,17 @@ class FaultPlan:
         """Fail the Nth parallel-backend send/recv/worker task."""
         return cls(
             [FaultSpec(site=site, hits=(hit,), behavior=behavior)], seed=seed
+        )
+
+    @classmethod
+    def tiering_fault(
+        cls, hit: int = 1, function: str | None = None, seed: int = 0,
+    ) -> "FaultPlan":
+        """Fail the Nth adaptive-tiering promotion attempt."""
+        return cls(
+            [FaultSpec(site=SITE_TIERING_PROMOTE, hits=(hit,),
+                       function=function)],
+            seed=seed,
         )
 
     @classmethod

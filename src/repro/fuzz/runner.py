@@ -30,10 +30,16 @@ from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
 from repro.runtime.mxarray import MxArray
 from repro.runtime.values import from_python
+from repro.tiering import TieringPolicy
 
 #: RNG seed applied before every backend run (programs using ``rand``
 #: must read the same stream everywhere).
 RNG_SEED = 20020617
+
+#: Hair-trigger thresholds for the adaptive backend: the top-level call's
+#: callees promote after a single observation, so generated programs with
+#: loops/recursion exercise interpreter->jit->spec switches mid-run.
+_AGGRESSIVE_TIERING = TieringPolicy(jit_threshold=1.0, spec_threshold=2.0)
 
 
 @dataclass(frozen=True)
@@ -155,6 +161,12 @@ BACKENDS = {
     "falcon": lambda p: _run_baseline(p, FalconCompilerEngine),
     "mcc": lambda p: _run_baseline(p, MccCompilerEngine),
     "parallel": lambda p: _run_session(p, parallel=2),
+    # Adaptive tiering with promotion thresholds low enough that tier
+    # switches happen *mid-program* (sync mode keeps runs deterministic):
+    # the continuous bit-identity check for the online controller.
+    "adaptive": lambda p: _run_session(
+        p, adaptive=True, adaptive_sync=True, tiering=_AGGRESSIVE_TIERING
+    ),
 }
 
 DEFAULT_BACKENDS = tuple(label for label in BACKENDS if label != "interpreter")

@@ -69,6 +69,10 @@ class Interpreter:
         self._fusion_plans: dict[int, tuple] = {}
         # Native tier (repro.native): offered each fused dispatch first.
         self.native = native
+        # Adaptive tiering: a HotnessCounter recording fused-kernel
+        # dispatches when no native engine is counting them (the engine
+        # shares the same counter, so only one side records per call).
+        self.kernel_hotness = None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -352,6 +356,8 @@ class Interpreter:
             result = self.native.dispatch(kernel, values)
             if result is not None:
                 return result
+        elif self.kernel_hotness is not None:
+            self.kernel_hotness.record(kernel.name)
         return kernel.fn(*values)
 
     def _eval_ident(self, expr: ast.Ident, env: Environment) -> MxArray:

@@ -112,6 +112,7 @@ class NativeEngine:
         hot_threshold: int = 2,
         min_elems: int | None = None,
         probe: bool = True,
+        hotness=None,
     ):
         if toolchain is None and probe:
             toolchain = detect_toolchain()
@@ -138,7 +139,15 @@ class NativeEngine:
         #: kernel name -> "queued" | "ready" | "failed" | "ineligible"
         self._state: dict[str, str] = {}
         self._ready: dict[str, _ReadyKernel] = {}
-        self._hot: dict[str, int] = {}
+        # Per-kernel dispatch hotness.  The session passes the adaptive
+        # controller's shared kernel counter here (repro.tiering); a
+        # standalone engine builds a private one with no decay horizon
+        # worth tuning (the old ad-hoc dict behaved the same way).
+        if hotness is None:
+            from repro.tiering.hotness import HotnessCounter
+
+            hotness = HotnessCounter()
+        self.hotness = hotness
         # Outcome tallies (tests, the bench script and the harness read
         # these; "cached" loads in a warm session must be > 0 with zero
         # "compiled" for the warm-start acceptance gate).
@@ -177,8 +186,10 @@ class NativeEngine:
             state = self._state.get(name)
             if state is not None:
                 return None
-            count = self._hot.get(name, 0) + 1
-            self._hot[name] = count
+        count = self.hotness.record(name)
+        with self._lock:
+            if self._state.get(name) is not None:
+                return None
             if count < self.hot_threshold or not kernel.key:
                 return None
             self._state[name] = "queued"

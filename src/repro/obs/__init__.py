@@ -244,6 +244,23 @@ class Observability:
             "Wall-clock latency of scatter/compute/gather parallel calls.",
             labelnames=("function",),
         )
+        # Adaptive-tiering instruments (repro.tiering): the controller's
+        # promotion/demotion traffic and warm-profile restores.
+        self._tier_promotions = registry.counter(
+            "majic_tier_promotions_total",
+            "Adaptive-tiering promotions landed, by destination tier.",
+            labelnames=("tier",),
+        )
+        self._tier_demotions = registry.counter(
+            "majic_tier_demotions_total",
+            "Adaptive-tiering demotions, by reason (slower, deopt, "
+            "quarantine).",
+            labelnames=("reason",),
+        )
+        self._tier_profile_restores = registry.counter(
+            "majic_tier_profile_restores_total",
+            "Persisted hotness profiles restored by warm sessions.",
+        )
 
     # ------------------------------------------------------------------
     # Hot-path helpers (no-ops when metrics are disabled)
@@ -299,6 +316,21 @@ class Observability:
         if not self.metrics.enabled:
             return
         self._native_fallbacks.inc(reason=reason)
+
+    def record_promotion(self, tier: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._tier_promotions.inc(tier=tier)
+
+    def record_demotion(self, reason: str) -> None:
+        if not self.metrics.enabled:
+            return
+        self._tier_demotions.inc(reason=reason)
+
+    def record_profile_restore(self) -> None:
+        if not self.metrics.enabled:
+            return
+        self._tier_profile_restores.inc()
 
     def set_queue_depth(self, depth: int) -> None:
         if not self.metrics.enabled:

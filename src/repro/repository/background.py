@@ -81,10 +81,21 @@ class _Task:
     for function compiles.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "on_done")
 
-    def __init__(self, fn):
+    def __init__(self, fn, on_done=None):
         self.fn = fn
+        self.on_done = on_done
+
+    def finish(self, success: bool) -> None:
+        """Fire the completion callback exactly once (then disarm it)."""
+        callback, self.on_done = self.on_done, None
+        if callback is None:
+            return
+        try:
+            callback(success)
+        except Exception:  # noqa: BLE001 - callbacks must not kill workers
+            pass
 
 
 class SpeculationEngine:
@@ -174,14 +185,16 @@ class SpeculationEngine:
         self.obs.set_queue_depth(self.pending())
         return True
 
-    def submit_task(self, fn, label: str) -> bool:
+    def submit_task(self, fn, label: str, on_done=None) -> bool:
         """Queue one arbitrary callable on the supervised worker pool.
 
         Returns False when the engine is shut down or degraded (callers
         then run the work inline or drop it).  ``label`` names the task
-        in diagnostics, dedup and poison quarantine.
+        in diagnostics, dedup and poison quarantine.  ``on_done`` (if
+        given) is invoked with ``True``/``False`` once the task finishes
+        or is abandoned (failure, cancellation, poison quarantine).
         """
-        task = _Task(fn)
+        task = _Task(fn, on_done)
         with self._lock:
             if self._shutdown or self.degraded:
                 return False
@@ -314,6 +327,8 @@ class SpeculationEngine:
             "quarantined as poison",
             cause=exc,
         )
+        if isinstance(generation, _Task):
+            generation.finish(False)
 
     # ------------------------------------------------------------------
     # The supervisor loop
@@ -399,12 +414,14 @@ class SpeculationEngine:
                 return
             if item is _STOP:
                 continue
-            name = self._unpack(item)[0]
+            name, generation = self._unpack(item)[:2]
             with self._quiet:
                 self._queued.pop(name, None)
                 self.cancelled.append(name)
                 if not self._queued and not self._in_flight:
                     self._quiet.notify_all()
+            if isinstance(generation, _Task):
+                generation.finish(False)
 
     def _run_one(self, repo, name: str, generation, parent=None) -> None:
         tracer = self.obs.tracer
@@ -434,8 +451,10 @@ class SpeculationEngine:
                 detail="background task failed",
                 cause=exc,
             )
+            task.finish(False)
             return
         self.compiled.append(label)
+        task.finish(True)
 
     def _run_one_raw(self, repo, name: str, generation: int) -> None:
         try:

@@ -412,13 +412,66 @@ class RepositoryCache:
         except OSError:
             return False
 
+    # ------------------------------------------------------------------
+    # Generic blobs (tiering profiles and other non-CompiledObject state)
+    # ------------------------------------------------------------------
+    def _blob_path(self, key: str) -> Path:
+        return self.directory / f"{key}.blob"
+
+    def get_blob(self, key: str):
+        """Load an arbitrary pickled value stored with :meth:`put_blob`.
+
+        Same integrity frame as compiled objects; any failure (missing,
+        torn, corrupt) is a ``None``, never a raise — a lost profile only
+        costs a warmup ramp, so it shares the cache's best-effort stance.
+        """
+        path = self._blob_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return deserialize_payload(unframe_payload(data))
+        except Exception as exc:  # noqa: BLE001 - corrupt blob: drop it
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self._diag(
+                "cache_corrupt", key[:12],
+                "corrupt blob entry dropped", cause=exc,
+            )
+            return None
+
+    def put_blob(self, key: str, value) -> bool:
+        """Persist an arbitrary picklable value atomically (best-effort)."""
+        try:
+            framed = frame_payload(serialize_payload(value))
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".blob"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(framed)
+                os.replace(tmp, self._blob_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            return False
+        return True
+
     def clear(self) -> int:
         """Remove every entry; returns how many were deleted."""
         removed = 0
-        for path in self.directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.pkl", "*.blob"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed

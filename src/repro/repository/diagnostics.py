@@ -41,6 +41,9 @@ CACHE_RETRY = "cache_retry"            # a transient cache IO fault retried
 PARALLEL_FALLBACK = "parallel_fallback"        # a sharded call ran serially
 PARALLEL_RESTART = "parallel_worker_restart"   # a dead rank was respawned
 PARALLEL_DEGRADED = "parallel_degraded"        # restart budget spent; serial
+#: Adaptive-tiering events (repro.tiering: online promotion/demotion).
+TIER_PROMOTE = "tier_promote"        # controller moved a function up a tier
+TIER_DEMOTE = "tier_demote"          # controller moved a function back down
 
 
 @dataclass(frozen=True)

@@ -229,6 +229,11 @@ class CodeRepository:
         self.compile_log: list[tuple[str, str, object]] = []
         # Hot-call cache: last object that served each function name.
         self._fast_cache: dict[str, CompiledObject] = {}
+        # Adaptive-tiering controller (repro.tiering); attached by
+        # TierController.bind() after construction so neither module
+        # imports the other.  When set, execute() routes through the
+        # observed adaptive path instead of hot-path JIT compilation.
+        self.tiering = None
         # Deopt strike counts per function (quarantine at max_strikes).
         self._strikes: dict[str, int] = {}
         # Functions whose compile overran the per-function budget.
@@ -779,6 +784,8 @@ class CodeRepository:
         program's own behaviour and propagate unchanged.
         """
         name = invocation.name
+        if self.tiering is not None:
+            return self._execute_adaptive(invocation)
         cached = self._fast_cache.get(name)
         if cached is not None and cached.fast_accepts(invocation.args):
             return self._guarded_invoke(invocation, cached)
@@ -818,6 +825,50 @@ class CodeRepository:
                 return self._interpret(invocation)
         self._fast_cache[name] = obj
         return self._guarded_invoke(invocation, obj)
+
+    def _execute_adaptive(self, invocation) -> list[MxArray]:
+        """Serve one invocation under the adaptive tier controller.
+
+        Unlike the static path, a repository miss never JIT-compiles on
+        the hot path: the call is interpreted *now* (responsiveness) and
+        the controller promotes the function out-of-band once it proves
+        hot.  Every served call is observed — tier plus wall time — which
+        is the controller's entire input signal.
+        """
+        controller = self.tiering
+        name = invocation.name
+        obj = None
+        if not controller.suppressed(name):
+            cached = self._fast_cache.get(name)
+            if cached is not None and cached.fast_accepts(invocation.args):
+                obj = cached
+            else:
+                if not self.knows(name):
+                    raise RepositoryError(f"unknown function '{name}'")
+                # First dispatch restores any persisted profile inline, so
+                # a warm session's first call already runs at its learned
+                # tier (the restore compiles are disk-cache hits).
+                controller.prepare(name)
+                if name not in self._uncompilable:
+                    obj = self.locate(invocation)
+                    if obj is not None:
+                        self._fast_cache[name] = obj
+        elif not self.knows(name):
+            raise RepositoryError(f"unknown function '{name}'")
+        deopts_before = self.stats.deopts
+        start = time.perf_counter()
+        if obj is not None:
+            tier = obj.mode
+            results = self._guarded_invoke(invocation, obj)
+            if self.stats.deopts != deopts_before:
+                # The compiled run failed mid-call and the interpreter
+                # served the answer; attribute the observation honestly.
+                tier = TIER_INTERPRETER
+        else:
+            tier = TIER_INTERPRETER
+            results = self._interpret(invocation)
+        controller.observe(invocation, tier, time.perf_counter() - start)
+        return results
 
     # ------------------------------------------------------------------
     # Guarded deoptimization

@@ -24,6 +24,7 @@ from repro.frontend.parser import parse
 from repro.interp.interpreter import Interpreter
 from repro.runtime.builtins import GLOBAL_RANDOM
 from repro.runtime.display import OutputSink
+from repro.tiering import TieringPolicy
 
 from tests.conftest import TINY_SCALES
 
@@ -93,6 +94,15 @@ BACKENDS = {
     "background": lambda name: run_session(name, background=True),
     "falcon": lambda name: run_baseline(FalconCompilerEngine, name),
     "mcc": lambda name: run_baseline(MccCompilerEngine, name),
+    # Adaptive tiering with hair-trigger thresholds: functions promote
+    # interpreter -> jit -> spec *during* the benchmark run, so mid-stream
+    # tier switches are continuously checked against the interpreter.
+    "adaptive": lambda name: run_session(
+        name,
+        adaptive=True,
+        adaptive_sync=True,
+        tiering=TieringPolicy(jit_threshold=1.0, spec_threshold=2.0),
+    ),
 }
 
 _BASELINES: dict[str, float] = {}
